@@ -1,0 +1,483 @@
+// Benchmarks regenerating each figure of the paper's evaluation at bench
+// scale (one benchmark per figure plus ablations for the design choices
+// DESIGN.md calls out). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-scale tables use cmd/aacc-bench instead; these benches keep
+// each iteration small so the harness converges quickly.
+package aacc
+
+import (
+	"bytes"
+	"testing"
+
+	"aacc/internal/centrality"
+	"aacc/internal/clique"
+	"aacc/internal/core"
+	"aacc/internal/dv"
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+	"aacc/internal/kcore"
+	"aacc/internal/logp"
+	"aacc/internal/partition"
+	"aacc/internal/sssp"
+	"aacc/internal/workload"
+)
+
+const (
+	benchN    = 600
+	benchP    = 8
+	benchSeed = 42
+)
+
+func benchAddition(b *testing.B, x int) *workload.Addition {
+	b.Helper()
+	add, err := workload.ExtractAddition(benchN, x, benchSeed, gen.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return add
+}
+
+func benchEngine(b *testing.B, g *graph.Graph) *core.Engine {
+	b.Helper()
+	e, err := core.New(g, core.Options{P: benchP, Seed: benchSeed, Partitioner: partition.Multilevel{Seed: benchSeed}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func mustRun(b *testing.B, e *core.Engine) {
+	b.Helper()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func cloneBatch(batch *core.VertexBatch) *core.VertexBatch {
+	return &core.VertexBatch{
+		Count:    batch.Count,
+		Internal: append([]core.BatchEdge(nil), batch.Internal...),
+		External: append([]core.AttachEdge(nil), batch.External...),
+	}
+}
+
+// BenchmarkFig4 measures one Figure-4 cell: a scaled vertex-addition batch
+// injected at RC4, anytime (RoundRobin-PS) vs baseline restart.
+func BenchmarkFig4(b *testing.B) {
+	add := benchAddition(b, 16)
+	b.Run("AnytimeRoundRobin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, add.Base.Clone())
+			for s := 0; s < 4 && !e.Converged(); s++ {
+				e.Step()
+			}
+			if _, err := e.ApplyVertexAdditions(cloneBatch(add.Batch), &core.RoundRobinPS{}); err != nil {
+				b.Fatal(err)
+			}
+			mustRun(b, e)
+		}
+	})
+	b.Run("BaselineRestart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, add.Base.Clone())
+			mustRun(b, e)
+			first := e.Graph().AddVertices(add.Batch.Count)
+			for _, ed := range add.Batch.Internal {
+				e.Graph().AddEdge(first+graph.ID(ed.A), first+graph.ID(ed.B), ed.W)
+			}
+			for _, ed := range add.Batch.External {
+				e.Graph().AddEdge(first+graph.ID(ed.New), ed.To, ed.W)
+			}
+			e.Reinitialize()
+			mustRun(b, e)
+		}
+	})
+}
+
+// benchStrategy measures one Figure-5/6 cell: a batch injected at the given
+// RC step under one strategy.
+func benchStrategy(b *testing.B, strategy string, injectAt int) {
+	add := benchAddition(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := benchEngine(b, add.Base.Clone())
+		for s := 0; s < injectAt && !e.Converged(); s++ {
+			e.Step()
+		}
+		var err error
+		switch strategy {
+		case "rr":
+			_, err = e.ApplyVertexAdditions(cloneBatch(add.Batch), &core.RoundRobinPS{})
+		case "ce":
+			_, err = e.ApplyVertexAdditions(cloneBatch(add.Batch), &core.CutEdgePS{Seed: benchSeed})
+		case "rep":
+			_, err = e.Repartition(cloneBatch(add.Batch))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		mustRun(b, e)
+	}
+}
+
+// BenchmarkFig5 covers the three strategies at RC0 (Figure 5).
+func BenchmarkFig5(b *testing.B) {
+	b.Run("RoundRobinPS", func(b *testing.B) { benchStrategy(b, "rr", 0) })
+	b.Run("CutEdgePS", func(b *testing.B) { benchStrategy(b, "ce", 0) })
+	b.Run("RepartitionS", func(b *testing.B) { benchStrategy(b, "rep", 0) })
+}
+
+// BenchmarkFig6 covers the three strategies at RC8 (Figure 6).
+func BenchmarkFig6(b *testing.B) {
+	b.Run("RoundRobinPS", func(b *testing.B) { benchStrategy(b, "rr", 8) })
+	b.Run("CutEdgePS", func(b *testing.B) { benchStrategy(b, "ce", 8) })
+	b.Run("RepartitionS", func(b *testing.B) { benchStrategy(b, "rep", 8) })
+}
+
+// BenchmarkFig7 measures the new-cut-edge accounting of Figure 7 (the
+// placement itself plus the cut measurement).
+func BenchmarkFig7(b *testing.B) {
+	add := benchAddition(b, 60)
+	e := benchEngine(b, add.Base.Clone())
+	mustRun(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Assignment().CutEdges(e.Graph())
+	}
+}
+
+// BenchmarkFig8 measures one Figure-8 cell: incremental additions spread
+// over 5 injections, per strategy.
+func BenchmarkFig8(b *testing.B) {
+	add := benchAddition(b, 40)
+	run := func(b *testing.B, method string) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, add.Base.Clone())
+			inc := workload.NewIncremental(add.Batch, 5)
+			rr := &core.RoundRobinPS{}
+			for inc.Remaining() > 0 {
+				e.Step()
+				chunk := inc.Next()
+				switch method {
+				case "restart":
+					first := e.Graph().AddVertices(chunk.Count)
+					ids := make([]graph.ID, chunk.Count)
+					for j := range ids {
+						ids[j] = first + graph.ID(j)
+					}
+					for _, ed := range chunk.Internal {
+						e.Graph().AddEdge(ids[ed.A], ids[ed.B], ed.W)
+					}
+					for _, ed := range chunk.External {
+						e.Graph().AddEdge(ids[ed.New], ed.To, ed.W)
+					}
+					inc.NoteIDs(ids)
+					e.Reinitialize()
+					mustRun(b, e)
+				case "rr":
+					ids, err := e.ApplyVertexAdditions(chunk, rr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					inc.NoteIDs(ids)
+				case "rep":
+					res, err := e.Repartition(chunk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					inc.NoteIDs(res.NewIDs)
+				}
+			}
+			mustRun(b, e)
+		}
+	}
+	b.Run("BaselineRestart", func(b *testing.B) { run(b, "restart") })
+	b.Run("RoundRobinPS", func(b *testing.B) { run(b, "rr") })
+	b.Run("RepartitionS", func(b *testing.B) { run(b, "rep") })
+}
+
+// BenchmarkEA1 measures the titled paper's edge-addition cell: a batch of
+// new edges folded into a converged analysis vs restart.
+func BenchmarkEA1(b *testing.B) {
+	base := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	adds := workload.RandomEdgeAdditions(base, 24, 1, benchSeed)
+	b.Run("Anytime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, base.Clone())
+			mustRun(b, e)
+			if err := e.ApplyEdgeAdditions(adds); err != nil {
+				b.Fatal(err)
+			}
+			mustRun(b, e)
+		}
+	})
+	b.Run("Restart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, base.Clone())
+			mustRun(b, e)
+			for _, ed := range adds {
+				e.Graph().AddEdge(ed.U, ed.V, ed.W)
+			}
+			e.Reinitialize()
+			mustRun(b, e)
+		}
+	})
+}
+
+// BenchmarkED1 measures the titled paper's edge-deletion cell.
+func BenchmarkED1(b *testing.B) {
+	base := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	dels := workload.RandomEdgeDeletions(base, 24, benchSeed)
+	b.Run("Anytime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, base.Clone())
+			mustRun(b, e)
+			if err := e.ApplyEdgeDeletions(dels); err != nil {
+				b.Fatal(err)
+			}
+			mustRun(b, e)
+		}
+	})
+	b.Run("Restart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := benchEngine(b, base.Clone())
+			mustRun(b, e)
+			for _, d := range dels {
+				e.Graph().RemoveEdge(d[0], d[1])
+			}
+			e.Reinitialize()
+			mustRun(b, e)
+		}
+	})
+}
+
+// BenchmarkED2 measures the deletion sweep's per-edge invalidation cost at a
+// larger batch (2% of edges).
+func BenchmarkED2(b *testing.B) {
+	base := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	dels := workload.RandomEdgeDeletions(base, base.NumEdges()/50, benchSeed)
+	for i := 0; i < b.N; i++ {
+		e := benchEngine(b, base.Clone())
+		mustRun(b, e)
+		if err := e.ApplyEdgeDeletions(dels); err != nil {
+			b.Fatal(err)
+		}
+		mustRun(b, e)
+	}
+}
+
+// BenchmarkQual1 measures the anytime read-out (Scores on partial state),
+// which must stay cheap enough to call after every RC step.
+func BenchmarkQual1(b *testing.B) {
+	e := benchEngine(b, gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{}))
+	e.Step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Scores()
+	}
+}
+
+// BenchmarkLogP1 measures the analytic model evaluation (LOGP-1).
+func BenchmarkLogP1(b *testing.B) {
+	p := logp.GigabitCluster(16)
+	for i := 0; i < b.N; i++ {
+		_ = p.StaticAnalysis(50000, 3000, 8, 1e-9)
+	}
+}
+
+// --- ablation benches for DESIGN.md's design choices ---
+
+// BenchmarkAblationIAPhase isolates the initial-approximation phase.
+func BenchmarkAblationIAPhase(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	for i := 0; i < b.N; i++ {
+		_ = benchEngine(b, g.Clone()) // New runs DD + IA
+	}
+}
+
+// BenchmarkAblationRCStep isolates the first (heaviest) recombination step.
+func BenchmarkAblationRCStep(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := benchEngine(b, g.Clone())
+		b.StartTimer()
+		e.Step()
+	}
+}
+
+// BenchmarkAblationDVGrow measures the amortised-doubling column growth the
+// paper's vertex-addition analysis charges O(x·n) for.
+func BenchmarkAblationDVGrow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := dv.NewStore(benchN)
+		for v := 0; v < benchN/benchP; v++ {
+			s.AddRow(int32(v))
+		}
+		b.StartTimer()
+		for w := benchN + 1; w <= benchN+64; w++ {
+			s.Grow(w)
+		}
+	}
+}
+
+// BenchmarkAblationFWRefresh measures the optional local Floyd–Warshall
+// refresh (O((n/P)^3) per step in the paper's analysis) against the
+// boundary-relaxation path the engine uses by default.
+func BenchmarkAblationFWRefresh(b *testing.B) {
+	n := benchN / benchP
+	block := make([][]int32, n)
+	for i := range block {
+		block[i] = make([]int32, n)
+		for j := range block[i] {
+			if i != j {
+				block[i][j] = sssp.Inf
+			}
+		}
+	}
+	g := gen.BarabasiAlbert(n, 2, benchSeed, gen.Config{})
+	for _, e := range g.Edges() {
+		block[e.U][e.V] = e.W
+		block[e.V][e.U] = e.W
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]int32, n)
+		for j := range block {
+			work[j] = append([]int32(nil), block[j]...)
+		}
+		sssp.FloydWarshallLocal(work)
+	}
+}
+
+// BenchmarkAblationSchedule compares the paper's one-message-at-a-time
+// personalised all-to-all against the naive concurrent flood in the LogP
+// model.
+func BenchmarkAblationSchedule(b *testing.B) {
+	p := logp.GigabitCluster(16)
+	sizes := make([][]int, 16)
+	for i := range sizes {
+		sizes[i] = make([]int, 16)
+		for j := range sizes[i] {
+			if i != j {
+				sizes[i][j] = 64 << 10
+			}
+		}
+	}
+	b.Run("PersonalisedSchedule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = p.AllToAllTime(sizes)
+		}
+	})
+	b.Run("NaiveFlood", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = p.FloodAllToAllTime(sizes)
+		}
+	})
+}
+
+// BenchmarkAblationWire compares one converged analysis over the in-memory
+// exchange vs the real TCP loopback wire (serialisation + kernel sockets).
+func BenchmarkAblationWire(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	run := func(b *testing.B, wire bool) {
+		for i := 0; i < b.N; i++ {
+			e, err := core.New(g.Clone(), core.Options{P: benchP, Seed: benchSeed, Wire: wire})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustRun(b, e)
+			e.Close()
+		}
+	}
+	b.Run("InMemory", func(b *testing.B) { run(b, false) })
+	b.Run("TCPWire", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationCheckpoint measures checkpoint serialisation and restore.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	e := benchEngine(b, gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{}))
+	mustRun(b, e)
+	b.Run("Write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := e.WriteCheckpoint(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("Load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LoadCheckpoint(bytes.NewReader(data), core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSNAMeasures covers the companion SNA kernels built around the
+// engine: betweenness, k-core, maximal cliques, point-to-point queries.
+func BenchmarkSNAMeasures(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{MaxWeight: 3})
+	b.Run("Betweenness", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = centrality.Betweenness(g, 0)
+		}
+	})
+	b.Run("ApproxBetweenness32Pivots", func(b *testing.B) {
+		pivots := g.Vertices()[:32]
+		for i := 0; i < b.N; i++ {
+			_ = centrality.ApproxBetweenness(g, pivots, 0)
+		}
+	})
+	b.Run("KCore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = kcore.Decompose(g)
+		}
+	})
+	b.Run("MaximalCliques", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clique.Enumerate(g, func([]graph.ID) bool { return true })
+		}
+	})
+	b.Run("BidirectionalQuery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sssp.BidirectionalDijkstra(g, 0, graph.ID(benchN-1))
+		}
+	})
+	b.Run("FullDijkstraQuery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sssp.Dijkstra(g, 0)[benchN-1]
+		}
+	})
+}
+
+// BenchmarkAblationPartitioners compares DD partitioners at engine scale
+// (cut quality is measured by cmd/partbench; this is the time side).
+func BenchmarkAblationPartitioners(b *testing.B) {
+	g := gen.BarabasiAlbert(2*benchN, 2, benchSeed, gen.Config{})
+	b.Run("Multilevel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = (partition.Multilevel{Seed: int64(i)}).Partition(g, benchP)
+		}
+	})
+	b.Run("BFSGrow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = (partition.BFSGrow{Seed: int64(i)}).Partition(g, benchP)
+		}
+	})
+	b.Run("RoundRobin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = (partition.RoundRobin{}).Partition(g, benchP)
+		}
+	})
+}

@@ -1,0 +1,26 @@
+// Command aacc-bench regenerates the paper's evaluation figures (and the
+// titled paper's edge-change suites) on the simulated cluster and prints one
+// table per figure, mirroring the series the paper reports.
+//
+// Examples:
+//
+//	aacc-bench                            # every experiment at default scale
+//	aacc-bench -experiment fig4,fig8      # selected figures
+//	aacc-bench -n 5000 -v                 # bigger replica, with progress
+//	aacc-bench -list                      # available experiment ids
+package main
+
+import (
+	"log"
+	"os"
+
+	"aacc/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aacc-bench: ")
+	if err := cli.Bench(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+// Command aacc runs one anytime anywhere closeness-centrality analysis end
+// to end on the simulated cluster: generate or load a graph, decompose it
+// over P simulated processors, converge, and report the most central actors
+// together with the simulated parallel cost.
+//
+// Examples:
+//
+//	aacc -n 4000 -p 16 -top 10
+//	aacc -graph web.edges -p 8 -harmonic
+//	aacc -gen community -n 2000 -anytime
+//	aacc -changes stream.log -eager-deletions
+//	aacc -wire            # exchanges over a real TCP loopback mesh
+package main
+
+import (
+	"log"
+	"os"
+
+	"aacc/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aacc: ")
+	if err := cli.Analysis(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

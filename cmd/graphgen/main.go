@@ -1,0 +1,25 @@
+// Command graphgen generates the synthetic graphs the experiments use
+// (scale-free, random, small-world, community-structured, R-MAT) and writes
+// them as edge-list or Pajek files.
+//
+// Examples:
+//
+//	graphgen -type ba -n 50000 -o web.edges
+//	graphgen -type community -n 10000 -format pajek -o comm.net
+//	graphgen -type rmat -n 16384 -m 4 -o kron.edges
+package main
+
+import (
+	"log"
+	"os"
+
+	"aacc/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+	if err := cli.GraphGen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}

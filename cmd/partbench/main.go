@@ -1,0 +1,23 @@
+// Command partbench compares the DD-phase partitioners (the METIS-family
+// multilevel substitute and the baselines) on one graph: cut edges, balance
+// and wall time — the ablation behind the domain-decomposition choice.
+//
+// Example:
+//
+//	partbench -n 20000 -p 16
+package main
+
+import (
+	"log"
+	"os"
+
+	"aacc/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("partbench: ")
+	if err := cli.PartBench(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

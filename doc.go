@@ -1,0 +1,26 @@
+// Package aacc is a from-scratch reproduction of "Efficient Anytime
+// Anywhere Algorithms for Closeness Centrality in Large and Dynamic Graphs"
+// (Santos, Korah, Murugappan, Subramanian; IEEE IPDPSW 2016) and its
+// vertex-additions companion paper.
+//
+// The system computes closeness centrality on large graphs that keep
+// changing while the analysis runs. It decomposes the graph over P simulated
+// processors (DD), seeds per-processor distance vectors with local Dijkstra
+// runs (IA), and converges through distance-vector-routing recombination
+// steps (RC) that exchange only updated boundary values. Dynamic changes —
+// edge additions and deletions, weight changes, vertex additions and
+// deletions — are folded into the running analysis without restarting, and
+// intermediate results are sound, monotonically improving estimates
+// (anytime) wherever the change occurred (anywhere).
+//
+// The public surface lives in the internal packages by design — this module
+// is a research artifact whose entry points are the command-line tools:
+//
+//	cmd/aacc        run one analysis end to end
+//	cmd/aacc-bench  regenerate every figure of the paper's evaluation
+//	cmd/graphgen    generate the synthetic input graphs
+//	cmd/partbench   compare the DD-phase partitioners
+//
+// and the runnable examples under examples/. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package aacc

@@ -1,0 +1,3 @@
+module aacc
+
+go 1.22

@@ -1,0 +1,66 @@
+package centrality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func TestApproxClosenessAllPivotsExact(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 2, 13, gen.Config{MaxWeight: 3})
+	exact := Exact(g, 2)
+	approx := ApproxCloseness(g, g.Vertices(), 2)
+	for _, v := range g.Vertices() {
+		if !approx.Valid[v] {
+			t.Fatalf("vertex %d invalid with full pivots", v)
+		}
+		if math.Abs(exact.Classic[v]-approx.Classic[v]) > 1e-12 {
+			t.Fatalf("vertex %d: exact %g vs approx %g", v, exact.Classic[v], approx.Classic[v])
+		}
+	}
+}
+
+func TestApproxClosenessRanking(t *testing.T) {
+	// The Okamoto et al. use case: recover the top-central actors from a
+	// small pivot sample.
+	g := gen.BarabasiAlbert(400, 2, 14, gen.Config{})
+	exact := Exact(g, 2)
+	rng := rand.New(rand.NewSource(14))
+	live := g.Vertices()
+	pivots := make([]graph.ID, 0, 50)
+	for _, i := range rng.Perm(len(live))[:50] {
+		pivots = append(pivots, live[i])
+	}
+	approx := ApproxCloseness(g, pivots, 2)
+	if r := Spearman(exact.Valid, approx.Valid, exact.Classic, approx.Classic); r < 0.85 {
+		t.Fatalf("rank correlation %.3f too low", r)
+	}
+	if o := TopKOverlap(exact, approx, 10); o < 0.5 {
+		t.Fatalf("top-10 overlap %.2f too low", o)
+	}
+}
+
+func TestApproxClosenessEmptyPivots(t *testing.T) {
+	g := gen.Path(10)
+	s := ApproxCloseness(g, nil, 1)
+	for v := 0; v < 10; v++ {
+		if s.Valid[v] {
+			t.Fatal("valid score with no pivots")
+		}
+	}
+}
+
+func TestApproxClosenessDisconnected(t *testing.T) {
+	g := gen.Path(6)
+	iso := g.AddVertex()
+	s := ApproxCloseness(g, []graph.ID{0, 3}, 1)
+	if s.Valid[iso] {
+		t.Fatal("isolated vertex scored")
+	}
+	if !s.Valid[5] {
+		t.Fatal("connected vertex not scored")
+	}
+}

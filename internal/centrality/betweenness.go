@@ -1,0 +1,147 @@
+package centrality
+
+import (
+	"runtime"
+	"sync"
+
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+	"aacc/internal/pqueue"
+)
+
+// Betweenness centrality (Brandes' algorithm), the other walk-based measure
+// the paper's background discusses (Bader et al.'s approximation, QUBE).
+// The engine's subject is closeness; betweenness is provided as a library
+// measure and comparison oracle, with Brandes' exact algorithm for weighted
+// graphs and a pivot-sampled approximation in the style of Bader et al. for
+// large graphs.
+
+// Betweenness computes exact betweenness centrality for every live vertex
+// of g via Brandes' algorithm, fanning the per-source accumulations out over
+// workers goroutines (<=0 = GOMAXPROCS). Edge weights are respected
+// (Dijkstra-based variant). Scores follow the undirected convention: each
+// pair's dependency is counted once (halved).
+func Betweenness(g *graph.Graph, workers int) []float64 {
+	return betweenness(g, g.Vertices(), workers, false)
+}
+
+// ApproxBetweenness estimates betweenness from a sample of pivot sources
+// (Bader et al.-style source sampling): dependencies from the sampled
+// sources are extrapolated by n/|sample|. pivots must be live vertices.
+func ApproxBetweenness(g *graph.Graph, pivots []graph.ID, workers int) []float64 {
+	scores := betweenness(g, pivots, workers, false)
+	if len(pivots) == 0 {
+		return scores
+	}
+	scale := float64(g.NumVertices()) / float64(len(pivots))
+	for v := range scores {
+		scores[v] *= scale
+	}
+	return scores
+}
+
+func betweenness(g *graph.Graph, sources []graph.ID, workers int, directed bool) []float64 {
+	n := g.NumIDs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var mu sync.Mutex
+	total := make([]float64, n)
+	next := make(chan graph.ID, len(sources))
+	for _, s := range sources {
+		next <- s
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newBrandesState(n)
+			local := make([]float64, n)
+			for s := range next {
+				st.accumulate(g, s, local)
+			}
+			mu.Lock()
+			for v := range total {
+				total[v] += local[v]
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if !directed {
+		for v := range total {
+			total[v] /= 2
+		}
+	}
+	return total
+}
+
+// brandesState holds the per-worker scratch of one Brandes accumulation.
+type brandesState struct {
+	dist  []int64
+	sigma []float64 // shortest-path counts
+	delta []float64 // dependency accumulators
+	preds [][]graph.ID
+	order []graph.ID // vertices in non-decreasing settled order
+	heap  *pqueue.Heap
+}
+
+func newBrandesState(n int) *brandesState {
+	return &brandesState{
+		dist:  make([]int64, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		preds: make([][]graph.ID, n),
+		order: make([]graph.ID, 0, n),
+		heap:  pqueue.New(n),
+	}
+}
+
+// accumulate runs one source's Dijkstra with path counting and adds its
+// pair dependencies into out (Brandes' back-propagation).
+func (st *brandesState) accumulate(g *graph.Graph, s graph.ID, out []float64) {
+	const inf = int64(dv.Inf)
+	for v := range st.dist {
+		st.dist[v] = inf
+		st.sigma[v] = 0
+		st.delta[v] = 0
+		st.preds[v] = st.preds[v][:0]
+	}
+	st.order = st.order[:0]
+	st.heap.Reset()
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.heap.Push(s, 0)
+	for st.heap.Len() > 0 {
+		v, d := st.heap.Pop()
+		if st.dist[v] < d {
+			continue
+		}
+		st.order = append(st.order, v)
+		for _, e := range g.Neighbors(v) {
+			nd := d + int64(e.W)
+			switch {
+			case nd < st.dist[e.To]:
+				st.dist[e.To] = nd
+				st.sigma[e.To] = st.sigma[v]
+				st.preds[e.To] = append(st.preds[e.To][:0], v)
+				st.heap.PushOrDecrease(e.To, nd)
+			case nd == st.dist[e.To]:
+				st.sigma[e.To] += st.sigma[v]
+				st.preds[e.To] = append(st.preds[e.To], v)
+			}
+		}
+	}
+	// Back-propagate dependencies in reverse settled order.
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		for _, p := range st.preds[w] {
+			st.delta[p] += st.sigma[p] / st.sigma[w] * (1 + st.delta[w])
+		}
+		if w != s {
+			out[w] += st.delta[w]
+		}
+	}
+}

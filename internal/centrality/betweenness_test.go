@@ -1,0 +1,217 @@
+package centrality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/dv"
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+	"aacc/internal/sssp"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4: middle vertex lies on the most pairs.
+	b := Betweenness(gen.Path(5), 1)
+	// Vertex 2 carries pairs {0,1}x{3,4} plus {1,3} endpoints... exact:
+	// dependencies of 2: pairs (0,3),(0,4),(1,3),(1,4) = 4; each counted
+	// once in the undirected convention. Vertex 1 carries (0,2),(0,3),(0,4) = 3.
+	if math.Abs(b[2]-4) > 1e-9 {
+		t.Fatalf("b[2] = %g, want 4", b[2])
+	}
+	if math.Abs(b[1]-3) > 1e-9 || math.Abs(b[3]-3) > 1e-9 {
+		t.Fatalf("b[1],b[3] = %g,%g want 3,3", b[1], b[3])
+	}
+	if b[0] != 0 || b[4] != 0 {
+		t.Fatalf("endpoints %g,%g want 0", b[0], b[4])
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star center is on every pair of leaves: C(n-1,2).
+	n := 7
+	b := Betweenness(gen.Star(n), 1)
+	want := float64((n - 1) * (n - 2) / 2)
+	if math.Abs(b[0]-want) > 1e-9 {
+		t.Fatalf("center %g, want %g", b[0], want)
+	}
+	for v := 1; v < n; v++ {
+		if b[v] != 0 {
+			t.Fatalf("leaf %d has betweenness %g", v, b[v])
+		}
+	}
+}
+
+func TestBetweennessCompleteGraphZero(t *testing.T) {
+	b := Betweenness(gen.Complete(6), 2)
+	for v, x := range b {
+		if x != 0 {
+			t.Fatalf("K6 vertex %d has betweenness %g", v, x)
+		}
+	}
+}
+
+func TestBetweennessSplitsEqualPaths(t *testing.T) {
+	// A 4-cycle: two equal shortest paths between opposite corners, so
+	// each intermediate carries half a pair.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	b := Betweenness(g, 1)
+	for v := 0; v < 4; v++ {
+		if math.Abs(b[v]-0.5) > 1e-9 {
+			t.Fatalf("cycle vertex %d: %g, want 0.5", v, b[v])
+		}
+	}
+}
+
+func TestBetweennessRespectsWeights(t *testing.T) {
+	// 0-1-2 with heavy direct edge 0-2: path through 1 is shorter, so 1
+	// is on the only shortest path.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	b := Betweenness(g, 1)
+	if math.Abs(b[1]-1) > 1e-9 {
+		t.Fatalf("b[1] = %g, want 1", b[1])
+	}
+}
+
+func TestBetweennessWorkerCountIrrelevant(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, 5, gen.Config{MaxWeight: 3})
+	a := Betweenness(g, 1)
+	b := Betweenness(g, 4)
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-6 {
+			t.Fatalf("worker count changed result at %d: %g vs %g", v, a[v], b[v])
+		}
+	}
+}
+
+func TestApproxBetweennessAllPivotsIsExact(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, 6, gen.Config{})
+	exact := Betweenness(g, 2)
+	approx := ApproxBetweenness(g, g.Vertices(), 2)
+	for v := range exact {
+		if math.Abs(exact[v]-approx[v]) > 1e-6 {
+			t.Fatalf("full-pivot approximation differs at %d", v)
+		}
+	}
+}
+
+func TestApproxBetweennessRankQuality(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 2, 7, gen.Config{})
+	exact := Betweenness(g, 2)
+	rng := rand.New(rand.NewSource(7))
+	live := g.Vertices()
+	pivots := make([]graph.ID, 0, 60)
+	for _, i := range rng.Perm(len(live))[:60] {
+		pivots = append(pivots, live[i])
+	}
+	approx := ApproxBetweenness(g, pivots, 2)
+	valid := make([]bool, g.NumIDs())
+	for _, v := range live {
+		valid[v] = true
+	}
+	if r := Spearman(valid, valid, exact, approx); r < 0.8 {
+		t.Fatalf("sampled betweenness rank correlation %.3f too low", r)
+	}
+}
+
+// Brute-force oracle: enumerate all pairs, count shortest paths through v
+// by checking d(s,v)+d(v,t) == d(s,t) with path counts from per-source
+// Dijkstra sigma recomputation.
+func bruteBetweenness(g *graph.Graph) []float64 {
+	n := g.NumIDs()
+	live := g.Vertices()
+	dist := make(map[graph.ID][]int32, len(live))
+	counts := make(map[graph.ID][]float64, len(live))
+	for _, s := range live {
+		d := sssp.Dijkstra(g, s)
+		dist[s] = d
+		// path counts via DP over vertices sorted by distance
+		sigma := make([]float64, n)
+		sigma[s] = 1
+		order := append([]graph.ID(nil), live...)
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && d[order[j-1]] > d[order[j]]; j-- {
+				order[j-1], order[j] = order[j], order[j-1]
+			}
+		}
+		for _, v := range order {
+			if d[v] == dv.Inf || v == s {
+				continue
+			}
+			for _, e := range g.Neighbors(v) {
+				if d[e.To] != dv.Inf && int64(d[e.To])+int64(e.W) == int64(d[v]) {
+					sigma[v] += sigma[e.To]
+				}
+			}
+		}
+		counts[s] = sigma
+	}
+	out := make([]float64, n)
+	for _, s := range live {
+		for _, t := range live {
+			if s >= t || dist[s][t] == dv.Inf {
+				continue
+			}
+			sigmaST := counts[s][t]
+			if sigmaST == 0 {
+				continue
+			}
+			for _, v := range live {
+				if v == s || v == t {
+					continue
+				}
+				if dist[s][v] != dv.Inf && dist[v][t] != dv.Inf &&
+					int64(dist[s][v])+int64(dist[v][t]) == int64(dist[s][t]) {
+					// σ_st(v) = σ_s(v)·σ_t(v) for shortest-path DAGs.
+					out[v] += counts[s][v] * counts[t][v] / sigmaST
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestBetweennessMatchesBruteForce cross-checks Brandes against the
+// pair-enumeration oracle on random weighted graphs.
+func TestBetweennessMatchesBruteForce(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := gen.ErdosRenyiM(40, 90, seed, gen.Config{MaxWeight: 4})
+		fast := Betweenness(g, 2)
+		slow := bruteBetweenness(g)
+		for v := range fast {
+			if math.Abs(fast[v]-slow[v]) > 1e-6 {
+				t.Fatalf("seed %d vertex %d: brandes %g vs brute %g", seed, v, fast[v], slow[v])
+			}
+		}
+	}
+}
+
+// TestPropertyBetweennessEndpointsZero: degree-1 vertices never carry flow.
+func TestPropertyBetweennessEndpointsZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(30+rng.Intn(60), 1, rng.Int63(), gen.Config{MaxWeight: 3})
+		b := Betweenness(g, 1)
+		for _, v := range g.Vertices() {
+			if g.Degree(v) == 1 && b[v] != 0 {
+				return false
+			}
+			if b[v] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

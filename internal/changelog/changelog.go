@@ -1,0 +1,346 @@
+// Package changelog defines a line-oriented text format for streams of
+// dynamic graph changes and a replayer that feeds them into a running
+// engine — the tooling face of the paper's "anywhere" property: record the
+// evolution of a real network as a change log, then replay it against an
+// analysis at the recorded recombination steps.
+//
+// Format (one event per line, '#' comments and blank lines ignored):
+//
+//	@<step>                          following events fire at RC step <step>
+//	addedge <u> <v> [w]              insert/lighten an undirected edge
+//	deledge <u> <v>                  delete an edge
+//	setweight <u> <v> <w>            change an edge weight
+//	addvertex <name>                 add one vertex (names map to new IDs)
+//	attach <name|id> <name|id> [w]   edge whose endpoints may be new names
+//	delvertex <name|id>              delete a vertex
+//
+// New vertices are declared with addvertex and referenced by name; existing
+// vertices by numeric ID. Events between two @step markers form one batch
+// applied atomically at that step.
+package changelog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aacc/internal/core"
+	"aacc/internal/graph"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+// Event kinds in file order of introduction.
+const (
+	AddEdge Kind = iota
+	DelEdge
+	SetWeight
+	AddVertex
+	Attach
+	DelVertex
+)
+
+// Event is one parsed change. New-vertex endpoints are names; existing
+// endpoints are resolved IDs.
+type Event struct {
+	Kind   Kind
+	U, V   graph.ID // resolved IDs, -1 when the endpoint is a new name
+	NameU  string   // set when U == -1
+	NameV  string   // set when V == -1
+	Weight int32
+}
+
+// Batch is the set of events applied at one RC step.
+type Batch struct {
+	Step   int
+	Events []Event
+}
+
+// Log is a parsed change log: batches sorted by step.
+type Log struct {
+	Batches []Batch
+}
+
+// Parse reads the text format. Events before any @step marker fire at step 0.
+func Parse(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	byStep := map[int][]Event{}
+	step := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "@") {
+			s, err := strconv.Atoi(strings.TrimPrefix(line, "@"))
+			if err != nil || s < 0 {
+				return nil, fmt.Errorf("changelog: line %d: bad step marker %q", lineNo, line)
+			}
+			step = s
+			continue
+		}
+		ev, err := parseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("changelog: line %d: %w", lineNo, err)
+		}
+		byStep[step] = append(byStep[step], ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	log := &Log{}
+	steps := make([]int, 0, len(byStep))
+	for s := range byStep {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	for _, s := range steps {
+		log.Batches = append(log.Batches, Batch{Step: s, Events: byStep[s]})
+	}
+	return log, nil
+}
+
+func parseEvent(line string) (Event, error) {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "addedge", "setweight", "attach":
+		if len(f) < 3 {
+			return Event{}, fmt.Errorf("%s needs two endpoints", f[0])
+		}
+		w := int64(1)
+		if len(f) >= 4 {
+			var err error
+			w, err = strconv.ParseInt(f[3], 10, 32)
+			if err != nil || w < 1 {
+				return Event{}, fmt.Errorf("bad weight %q", f[3])
+			}
+		}
+		if f[0] == "setweight" && len(f) < 4 {
+			return Event{}, fmt.Errorf("setweight needs a weight")
+		}
+		kind := AddEdge
+		if f[0] == "setweight" {
+			kind = SetWeight
+		}
+		if f[0] == "attach" {
+			kind = Attach
+		}
+		ev := Event{Kind: kind, Weight: int32(w)}
+		ev.U, ev.NameU = parseEndpoint(f[1])
+		ev.V, ev.NameV = parseEndpoint(f[2])
+		if kind != Attach && (ev.U < 0 || ev.V < 0) {
+			return Event{}, fmt.Errorf("%s endpoints must be numeric IDs", f[0])
+		}
+		return ev, nil
+	case "deledge":
+		if len(f) != 3 {
+			return Event{}, fmt.Errorf("deledge needs two endpoints")
+		}
+		ev := Event{Kind: DelEdge}
+		ev.U, ev.NameU = parseEndpoint(f[1])
+		ev.V, ev.NameV = parseEndpoint(f[2])
+		if ev.U < 0 || ev.V < 0 {
+			return Event{}, fmt.Errorf("deledge endpoints must be numeric IDs")
+		}
+		return ev, nil
+	case "addvertex":
+		if len(f) != 2 {
+			return Event{}, fmt.Errorf("addvertex needs a name")
+		}
+		return Event{Kind: AddVertex, U: -1, NameU: f[1]}, nil
+	case "delvertex":
+		if len(f) != 2 {
+			return Event{}, fmt.Errorf("delvertex needs a vertex")
+		}
+		ev := Event{Kind: DelVertex}
+		ev.U, ev.NameU = parseEndpoint(f[1])
+		return ev, nil
+	default:
+		return Event{}, fmt.Errorf("unknown event %q", f[0])
+	}
+}
+
+// parseEndpoint resolves a numeric ID, or returns (-1, name) for symbolic
+// new-vertex names.
+func parseEndpoint(tok string) (graph.ID, string) {
+	if id, err := strconv.ParseInt(tok, 10, 32); err == nil && id >= 0 {
+		return graph.ID(id), ""
+	}
+	return -1, tok
+}
+
+// Replayer feeds a Log into an engine at the recorded steps.
+type Replayer struct {
+	log   *Log
+	ps    core.ProcessorAssigner
+	names map[string]graph.ID // resolved new-vertex names
+	next  int                 // next batch index
+	// Eager selects barrier-free deletions (ApplyEdgeDeletionsEager).
+	Eager bool
+}
+
+// NewReplayer builds a replayer using ps to place new vertices (nil =
+// RoundRobin-PS).
+func NewReplayer(log *Log, ps core.ProcessorAssigner) *Replayer {
+	if ps == nil {
+		ps = &core.RoundRobinPS{}
+	}
+	return &Replayer{log: log, ps: ps, names: make(map[string]graph.ID)}
+}
+
+// Done reports whether every batch has been applied.
+func (r *Replayer) Done() bool { return r.next >= len(r.log.Batches) }
+
+// Resolve returns the engine ID assigned to a named new vertex.
+func (r *Replayer) Resolve(name string) (graph.ID, bool) {
+	id, ok := r.names[name]
+	return id, ok
+}
+
+// Step advances the engine by one RC step and applies any batches due at or
+// before the engine's step count. Call in a loop until Done, then run the
+// engine to convergence.
+func (r *Replayer) Step(e *core.Engine) error {
+	e.Step()
+	for !r.Done() && r.log.Batches[r.next].Step <= e.StepCount() {
+		if err := r.apply(e, r.log.Batches[r.next]); err != nil {
+			return err
+		}
+		r.next++
+	}
+	return nil
+}
+
+// ReplayAll drives the engine until every batch is applied and the analysis
+// has converged.
+func (r *Replayer) ReplayAll(e *core.Engine) error {
+	for !r.Done() {
+		if err := r.Step(e); err != nil {
+			return err
+		}
+	}
+	_, err := e.Run()
+	return err
+}
+
+// apply groups a batch's events into the engine's operation types: new
+// vertices and their attachments become one VertexBatch; plain edge events
+// apply individually.
+func (r *Replayer) apply(e *core.Engine, b Batch) error {
+	// Collect the batch's new vertices in declaration order.
+	var newNames []string
+	nameIdx := map[string]int{}
+	for _, ev := range b.Events {
+		if ev.Kind == AddVertex {
+			if _, dup := nameIdx[ev.NameU]; dup {
+				return fmt.Errorf("changelog: duplicate vertex name %q in step %d", ev.NameU, b.Step)
+			}
+			if _, known := r.names[ev.NameU]; known {
+				return fmt.Errorf("changelog: vertex name %q reused in step %d", ev.NameU, b.Step)
+			}
+			nameIdx[ev.NameU] = len(newNames)
+			newNames = append(newNames, ev.NameU)
+		}
+	}
+	vb := &core.VertexBatch{Count: len(newNames)}
+	resolve := func(id graph.ID, name string) (graph.ID, int, error) {
+		if id >= 0 {
+			return id, -1, nil
+		}
+		if i, ok := nameIdx[name]; ok {
+			return -1, i, nil
+		}
+		if rid, ok := r.names[name]; ok {
+			return rid, -1, nil
+		}
+		return -1, -1, fmt.Errorf("changelog: unknown vertex %q", name)
+	}
+	var edgeAdds []graph.EdgeTriple
+	var edgeDels [][2]graph.ID
+	type weightChange struct {
+		u, v graph.ID
+		w    int32
+	}
+	var weights []weightChange
+	var vertexDels []graph.ID
+	for _, ev := range b.Events {
+		switch ev.Kind {
+		case AddVertex:
+			// handled above
+		case AddEdge:
+			edgeAdds = append(edgeAdds, graph.EdgeTriple{U: ev.U, V: ev.V, W: ev.Weight})
+		case DelEdge:
+			edgeDels = append(edgeDels, [2]graph.ID{ev.U, ev.V})
+		case SetWeight:
+			weights = append(weights, weightChange{u: ev.U, v: ev.V, w: ev.Weight})
+		case DelVertex:
+			id, _, err := resolve(ev.U, ev.NameU)
+			if err != nil {
+				return err
+			}
+			vertexDels = append(vertexDels, id)
+		case Attach:
+			uid, ui, err := resolve(ev.U, ev.NameU)
+			if err != nil {
+				return err
+			}
+			vid, vi, err := resolve(ev.V, ev.NameV)
+			if err != nil {
+				return err
+			}
+			switch {
+			case ui >= 0 && vi >= 0:
+				vb.Internal = append(vb.Internal, core.BatchEdge{A: ui, B: vi, W: ev.Weight})
+			case ui >= 0:
+				vb.External = append(vb.External, core.AttachEdge{New: ui, To: vid, W: ev.Weight})
+			case vi >= 0:
+				vb.External = append(vb.External, core.AttachEdge{New: vi, To: uid, W: ev.Weight})
+			default:
+				edgeAdds = append(edgeAdds, graph.EdgeTriple{U: uid, V: vid, W: ev.Weight})
+			}
+		}
+	}
+	if vb.Count > 0 {
+		ids, err := e.ApplyVertexAdditions(vb, r.ps)
+		if err != nil {
+			return err
+		}
+		for i, name := range newNames {
+			r.names[name] = ids[i]
+		}
+	}
+	if len(edgeAdds) > 0 {
+		if err := e.ApplyEdgeAdditions(edgeAdds); err != nil {
+			return err
+		}
+	}
+	for _, wc := range weights {
+		if err := e.SetEdgeWeight(wc.u, wc.v, wc.w); err != nil {
+			return err
+		}
+	}
+	if len(edgeDels) > 0 {
+		var err error
+		if r.Eager {
+			err = e.ApplyEdgeDeletionsEager(edgeDels)
+		} else {
+			err = e.ApplyEdgeDeletions(edgeDels)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if len(vertexDels) > 0 {
+		if err := e.RemoveVertices(vertexDels); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+// Package cli implements the command-line tools as testable functions: each
+// cmd/* main is a thin wrapper around one function here that takes its
+// argument list and output writers and returns an error. This keeps flag
+// handling, graph loading and report formatting under test.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"aacc/internal/centrality"
+	"aacc/internal/changelog"
+	"aacc/internal/core"
+	"aacc/internal/experiments"
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+	"aacc/internal/metrics"
+	"aacc/internal/partition"
+	"aacc/internal/trace"
+)
+
+// LoadOrGenerate returns a graph from an edge-list file, or generates one
+// with the named generator. Known generators: ba, er, ws, sbm, community,
+// rmat.
+func LoadOrGenerate(path, kind string, n int, seed int64, maxW int32) (*graph.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch {
+		case strings.HasSuffix(path, ".net"):
+			return graph.ReadPajek(f)
+		case strings.HasSuffix(path, ".graph"), strings.HasSuffix(path, ".metis"):
+			return graph.ReadMETIS(f)
+		default:
+			return graph.ReadEdgeList(f)
+		}
+	}
+	cfg := gen.Config{MaxWeight: maxW}
+	switch kind {
+	case "ba":
+		return gen.BarabasiAlbert(n, 2, seed, cfg), nil
+	case "er":
+		return gen.ErdosRenyiM(n, 3*n, seed, cfg), nil
+	case "ws":
+		return gen.WattsStrogatz(n, 3, 0.1, seed, cfg), nil
+	case "sbm":
+		return gen.PlantedPartition(n, 8, 0.1, 0.002, seed, cfg), nil
+	case "community":
+		g, _ := gen.CommunityScaleFree(n, n/100+2, 2, n/20+1, seed, cfg)
+		return g, nil
+	case "rmat":
+		scale := 1
+		for 1<<uint(scale) < n {
+			scale++
+		}
+		return gen.RMAT(scale, 8, seed, cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}
+
+// PickPartitioner resolves a partitioner by name: multilevel, bfsgrow,
+// roundrobin, hash.
+func PickPartitioner(name string, seed int64) (partition.Partitioner, error) {
+	switch name {
+	case "multilevel":
+		return partition.Multilevel{Seed: seed}, nil
+	case "bfsgrow":
+		return partition.BFSGrow{Seed: seed}, nil
+	case "roundrobin":
+		return partition.RoundRobin{}, nil
+	case "hash":
+		return partition.Hash{}, nil
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q", name)
+	}
+}
+
+// Analysis implements cmd/aacc.
+func Analysis(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aacc", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		n         = fs.Int("n", 2000, "vertices when generating a graph")
+		p         = fs.Int("p", 16, "simulated processors (1-64)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		genName   = fs.String("gen", "ba", "generator: ba, er, ws, sbm, community, rmat")
+		graphPath = fs.String("graph", "", "load an edge-list graph instead of generating")
+		maxW      = fs.Int("maxw", 1, "maximum random edge weight")
+		top       = fs.Int("top", 10, "how many top-central vertices to print")
+		harmonic  = fs.Bool("harmonic", false, "rank by harmonic instead of classic closeness")
+		anytime   = fs.Bool("anytime", false, "print per-step anytime progress")
+		partName  = fs.String("partitioner", "multilevel", "DD partitioner: multilevel, bfsgrow, roundrobin, hash")
+		changes   = fs.String("changes", "", "replay a change log (see internal/changelog) during the analysis")
+		eagerDel  = fs.Bool("eager-deletions", false, "barrier-free (eager) deletion mode for the change log")
+		wire      = fs.Bool("wire", false, "exchange boundary DVs over a real TCP loopback mesh")
+		traceCSV  = fs.String("trace", "", "write a CSV step/event trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := LoadOrGenerate(*graphPath, *genName, *n, *seed, int32(*maxW))
+	if err != nil {
+		return err
+	}
+	part, err := PickPartitioner(*partName, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; %d simulated processors\n",
+		g.NumVertices(), g.NumEdges(), *p)
+
+	var tracer core.Tracer
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv := trace.NewCSV(f)
+		defer func() {
+			if err := csv.Err(); err != nil {
+				fmt.Fprintf(stdout, "trace error: %v\n", err)
+			}
+		}()
+		tracer = csv
+	}
+	wall := time.Now()
+	e, err := core.New(g, core.Options{P: *p, Seed: *seed, Partitioner: part, Wire: *wire, Tracer: tracer})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	var replayer *changelog.Replayer
+	if *changes != "" {
+		f, err := os.Open(*changes)
+		if err != nil {
+			return err
+		}
+		cl, err := changelog.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		replayer = changelog.NewReplayer(cl, &core.CutEdgePS{Seed: *seed})
+		replayer.Eager = *eagerDel
+		fmt.Fprintf(stdout, "replaying %d change batches from %s\n", len(cl.Batches), *changes)
+	}
+	switch {
+	case replayer != nil && *anytime:
+		for !replayer.Done() || !e.Converged() {
+			if err := replayer.Step(e); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "rc step %2d: n=%d m=%d\n",
+				e.StepCount(), e.Graph().NumVertices(), e.Graph().NumEdges())
+		}
+	case replayer != nil:
+		if err := replayer.ReplayAll(e); err != nil {
+			return err
+		}
+	case *anytime:
+		for !e.Converged() {
+			rep := e.Step()
+			fmt.Fprintf(stdout, "rc step %2d: %4d rows sent, %4d rows changed\n",
+				rep.Step, rep.RowsSent, rep.RowsChanged)
+		}
+	default:
+		if _, err := e.Run(); err != nil {
+			return err
+		}
+	}
+
+	scores := e.Scores()
+	values := scores.Classic
+	kind := "closeness"
+	if *harmonic {
+		values = scores.Harmonic
+		kind = "harmonic closeness"
+	}
+	fmt.Fprintf(stdout, "\ntop %d by %s:\n", *top, kind)
+	for i, v := range centrality.TopK(scores, values, *top) {
+		fmt.Fprintf(stdout, "%3d. vertex %-8d %.6g\n", i+1, v, values[v])
+	}
+
+	st := e.Stats()
+	load := metrics.Measure(e.Graph(), *p, func(v graph.ID) int { return e.Owner(v) })
+	fmt.Fprintf(stdout, "\nrc steps: %d   wall: %v\n", e.StepCount(), time.Since(wall).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "simulated parallel time: %v (compute %v + comm %v)\n",
+		st.SimTotal().Round(time.Microsecond), st.SimCompute.Round(time.Microsecond), st.SimComm.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "traffic: %d messages, %.2f MB; cut edges: %d; vertex imbalance: %.3f\n",
+		st.MessagesSent, float64(st.BytesSent)/(1<<20), load.TotalCut, load.VertexImbalance)
+	return nil
+}
+
+// Bench implements cmd/aacc-bench.
+func Bench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aacc-bench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		list = fs.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		n    = fs.Int("n", 2000, "base graph size (paper: 50000)")
+		p    = fs.Int("p", 16, "simulated processors")
+		seed = fs.Int64("seed", 20160516, "random seed")
+		maxW = fs.Int("maxw", 1, "maximum random edge weight")
+		verb = fs.Bool("v", false, "print per-run progress")
+		show = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *show {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(stdout, "%-7s %s\n", id, experiments.Describe(id))
+		}
+		return nil
+	}
+	ids := experiments.IDs()
+	if *list != "all" {
+		ids = strings.Split(*list, ",")
+	}
+	cfg := experiments.Config{
+		N:         *n,
+		P:         *p,
+		Seed:      *seed,
+		MaxWeight: int32(*maxW),
+		Verbose:   *verb,
+		Out:       stdout,
+	}
+	start := time.Now()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		fmt.Fprintf(stdout, "=== %s: %s\n", id, experiments.Describe(id))
+		if _, err := experiments.Run(id, cfg); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "all experiments done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// GraphGen implements cmd/graphgen.
+func GraphGen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind   = fs.String("type", "ba", "ba, er, ws, sbm, community, rmat, grid, star, path")
+		n      = fs.Int("n", 1000, "number of vertices")
+		m      = fs.Int("m", 2, "edges per vertex (ba), edge multiple (er), neighbours (ws)")
+		k      = fs.Int("k", 8, "communities (sbm, community)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		maxW   = fs.Int("maxw", 1, "maximum random edge weight")
+		out    = fs.String("o", "", "output path (default stdout)")
+		format = fs.String("format", "edgelist", "edgelist, pajek or metis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := gen.Config{MaxWeight: int32(*maxW)}
+	var g *graph.Graph
+	switch *kind {
+	case "ba":
+		g = gen.BarabasiAlbert(*n, *m, *seed, cfg)
+	case "er":
+		g = gen.ErdosRenyiM(*n, *m**n, *seed, cfg)
+	case "ws":
+		g = gen.WattsStrogatz(*n, *m, 0.1, *seed, cfg)
+	case "sbm":
+		g = gen.PlantedPartition(*n, *k, 0.1, 0.002, *seed, cfg)
+	case "community":
+		g, _ = gen.CommunityScaleFree(*n, *k, *m, *n/20+1, *seed, cfg)
+	case "rmat":
+		scale := 1
+		for 1<<uint(scale) < *n {
+			scale++
+		}
+		g = gen.RMAT(scale, *m*4, *seed, cfg)
+	case "grid":
+		g = gen.Grid(*n, *n, cfg)
+	case "star":
+		g = gen.Star(*n)
+	case "path":
+		g = gen.Path(*n)
+	default:
+		return fmt.Errorf("unknown graph type %q", *kind)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "edgelist":
+		err = graph.WriteEdgeList(w, g)
+	case "pajek":
+		err = graph.WritePajek(w, g)
+	case "metis":
+		err = graph.WriteMETIS(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "graphgen: wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	return nil
+}
+
+// PartBench implements cmd/partbench.
+func PartBench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("partbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		n         = fs.Int("n", 10000, "vertices (scale-free generator)")
+		p         = fs.Int("p", 16, "parts")
+		seed      = fs.Int64("seed", 1, "random seed")
+		graphPath = fs.String("graph", "", "load an edge-list graph instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		g, rerr = graph.ReadEdgeList(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	} else {
+		g = gen.BarabasiAlbert(*n, 2, *seed, gen.Config{})
+	}
+	partitioners := []partition.Partitioner{
+		partition.Multilevel{Seed: *seed},
+		partition.BFSGrow{Seed: *seed},
+		partition.RoundRobin{},
+		partition.Hash{},
+	}
+	tab := metrics.Table{
+		Title:   fmt.Sprintf("partitioners on %d vertices, %d edges, k=%d", g.NumVertices(), g.NumEdges(), *p),
+		Columns: []string{"partitioner", "cut-edges", "cut-fraction", "imbalance", "time"},
+	}
+	for _, pt := range partitioners {
+		start := time.Now()
+		a := pt.Partition(g, *p)
+		elapsed := time.Since(start)
+		if err := a.Validate(g); err != nil {
+			return fmt.Errorf("%s produced invalid assignment: %w", pt.Name(), err)
+		}
+		cut := a.CutEdges(g)
+		tab.AddRow(
+			pt.Name(),
+			fmt.Sprintf("%d", cut),
+			fmt.Sprintf("%.3f", float64(cut)/float64(g.NumEdges())),
+			fmt.Sprintf("%.3f", a.Imbalance()),
+			elapsed.Round(time.Microsecond).String(),
+		)
+	}
+	return tab.Write(stdout)
+}

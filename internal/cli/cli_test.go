@@ -1,0 +1,262 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAnalysisSmallRun(t *testing.T) {
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "120", "-p", "4", "-top", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"graph: 120 vertices", "top 3 by closeness", "rc steps:", "simulated parallel time"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalysisHarmonicAnytime(t *testing.T) {
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "100", "-p", "4", "-harmonic", "-anytime", "-gen", "er"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "harmonic closeness") || !strings.Contains(s, "rows sent") {
+		t.Fatalf("missing harmonic/anytime output:\n%s", s)
+	}
+}
+
+func TestAnalysisWithChangeLog(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "changes.log")
+	content := "@1\naddedge 0 40 2\n@2\naddvertex newbie\nattach newbie 3 1\n"
+	if err := os.WriteFile(logPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "80", "-p", "4", "-changes", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replaying 2 change batches") {
+		t.Fatalf("replay banner missing:\n%s", out.String())
+	}
+}
+
+func TestAnalysisTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.csv")
+	var out bytes.Buffer
+	if err := Analysis([]string{"-n", "80", "-p", "4", "-trace", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "step,messages") {
+		t.Fatalf("trace file malformed: %.60s", data)
+	}
+}
+
+func TestAnalysisErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := Analysis([]string{"-gen", "nope"}, &out); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if err := Analysis([]string{"-partitioner", "nope"}, &out); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+	if err := Analysis([]string{"-graph", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing graph file accepted")
+	}
+	if err := Analysis([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := Analysis([]string{"-n", "60", "-changes", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing change log accepted")
+	}
+}
+
+func TestBenchListAndSingle(t *testing.T) {
+	var out bytes.Buffer
+	if err := Bench([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig4") || !strings.Contains(out.String(), "ext1") {
+		t.Fatalf("experiment list incomplete:\n%s", out.String())
+	}
+	out.Reset()
+	if err := Bench([]string{"-experiment", "qual1", "-n", "200", "-p", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "QUAL-1") || !strings.Contains(out.String(), "all experiments done") {
+		t.Fatalf("qual1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := Bench([]string{"-experiment", "nope", "-n", "100"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestGraphGenToFileAndFormats(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	edges := filepath.Join(dir, "g.edges")
+	if err := GraphGen([]string{"-type", "ba", "-n", "100", "-o", edges}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "wrote 100 vertices") {
+		t.Fatalf("summary missing: %s", stderr.String())
+	}
+	data, err := os.ReadFile(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# vertices 100") {
+		t.Fatalf("edge list header missing: %.40s", data)
+	}
+	// Pajek to stdout.
+	stdout.Reset()
+	if err := GraphGen([]string{"-type", "star", "-n", "5", "-format", "pajek"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "*Vertices 5") {
+		t.Fatalf("pajek output wrong:\n%s", stdout.String())
+	}
+	// The generated file round-trips into an analysis.
+	var out bytes.Buffer
+	if err := Analysis([]string{"-graph", edges, "-p", "4", "-top", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphGenMetisFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.graph")
+	var stdout, stderr bytes.Buffer
+	if err := GraphGen([]string{"-type", "ba", "-n", "90", "-format", "metis", "-o", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// .graph extension routes through the METIS reader.
+	var out bytes.Buffer
+	if err := Analysis([]string{"-graph", path, "-p", "4", "-top", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph: 90 vertices") {
+		t.Fatalf("metis graph not loaded:\n%s", out.String())
+	}
+}
+
+func TestGraphGenPajekRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.net")
+	var stdout, stderr bytes.Buffer
+	if err := GraphGen([]string{"-type", "ba", "-n", "70", "-format", "pajek", "-o", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Analysis([]string{"-graph", path, "-p", "4", "-top", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph: 70 vertices") {
+		t.Fatalf("pajek graph not loaded:\n%s", out.String())
+	}
+}
+
+func TestGraphGenAllTypes(t *testing.T) {
+	for _, typ := range []string{"ba", "er", "ws", "sbm", "community", "rmat", "grid", "star", "path"} {
+		var stdout, stderr bytes.Buffer
+		n := "64"
+		if typ == "grid" {
+			n = "8" // grid interprets -n as side length
+		}
+		if err := GraphGen([]string{"-type", typ, "-n", n}, &stdout, &stderr); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+	}
+}
+
+func TestGraphGenErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := GraphGen([]string{"-type", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if err := GraphGen([]string{"-format", "nope", "-n", "10"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestPartBenchTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := PartBench([]string{"-n", "300", "-p", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"multilevel", "bfsgrow", "roundrobin", "hash", "cut-edges"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("partbench output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPartBenchFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	var stdout, stderr bytes.Buffer
+	if err := GraphGen([]string{"-type", "ba", "-n", "150", "-o", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := PartBench([]string{"-graph", path, "-p", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "150 vertices") {
+		t.Fatalf("file graph not used:\n%s", out.String())
+	}
+}
+
+func TestPartBenchMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := PartBench([]string{"-graph", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadOrGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"ba", "er", "ws", "sbm", "community", "rmat"} {
+		g, err := LoadOrGenerate("", kind, 80, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumVertices() < 60 {
+			t.Fatalf("%s produced only %d vertices", kind, g.NumVertices())
+		}
+	}
+	if _, err := LoadOrGenerate("", "nope", 10, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPickPartitionerKinds(t *testing.T) {
+	for _, name := range []string{"multilevel", "bfsgrow", "roundrobin", "hash"} {
+		p, err := PickPartitioner(name, 1)
+		if err != nil || p == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := PickPartitioner("nope", 1); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+}

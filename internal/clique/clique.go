@@ -1,0 +1,178 @@
+// Package clique implements maximal clique enumeration — the measurement
+// the anytime-anywhere methodology's companion paper (Pan & Santos, "An
+// anytime-anywhere approach for maximal clique enumeration in social network
+// analysis") instantiates the framework on. The enumerator is
+// Bron–Kerbosch with pivoting over a degeneracy ordering (Eppstein,
+// Löffler & Strash), exposed anytime-style: cliques stream to a callback
+// that may stop the enumeration at any point, and the best-so-far maximum
+// clique is available whenever the search is interrupted.
+package clique
+
+import (
+	"sort"
+
+	"aacc/internal/graph"
+	"aacc/internal/kcore"
+)
+
+// Enumerate streams every maximal clique of g (vertices sorted ascending)
+// to yield, in a deterministic order. Enumeration stops early when yield
+// returns false — the anytime interruption. It returns the number of
+// cliques reported.
+func Enumerate(g *graph.Graph, yield func(clique []graph.ID) bool) int {
+	live := g.Vertices()
+	if len(live) == 0 {
+		return 0
+	}
+	e := &enumerator{g: g, yield: yield}
+	e.adj = make([]map[graph.ID]bool, g.NumIDs())
+	for _, v := range live {
+		set := make(map[graph.ID]bool, g.Degree(v))
+		for _, ed := range g.Neighbors(v) {
+			set[ed.To] = true
+		}
+		e.adj[v] = set
+	}
+	// Degeneracy ordering bounds each outer candidate set by the
+	// degeneracy, the Eppstein–Löffler–Strash improvement.
+	order := kcore.Decompose(g).Order
+	pos := make([]int, g.NumIDs())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, v := range order {
+		if e.stopped {
+			break
+		}
+		var p, x []graph.ID
+		for _, ed := range g.Neighbors(v) {
+			if pos[ed.To] > pos[v] {
+				p = append(p, ed.To)
+			} else {
+				x = append(x, ed.To)
+			}
+		}
+		sortIDs(p)
+		sortIDs(x)
+		e.expand([]graph.ID{v}, p, x)
+	}
+	return e.count
+}
+
+// MaximalCliques collects every maximal clique (use Enumerate for anytime
+// streaming on large graphs).
+func MaximalCliques(g *graph.Graph) [][]graph.ID {
+	var out [][]graph.ID
+	Enumerate(g, func(c []graph.ID) bool {
+		out = append(out, append([]graph.ID(nil), c...))
+		return true
+	})
+	return out
+}
+
+// MaxClique returns one maximum clique. budget <= 0 runs to completion;
+// otherwise the search is interrupted after budget maximal cliques and the
+// best found so far is returned — the anytime trade-off.
+func MaxClique(g *graph.Graph, budget int) []graph.ID {
+	var best []graph.ID
+	seen := 0
+	Enumerate(g, func(c []graph.ID) bool {
+		seen++
+		if len(c) > len(best) {
+			best = append(best[:0], c...)
+		}
+		return budget <= 0 || seen < budget
+	})
+	return append([]graph.ID(nil), best...)
+}
+
+type enumerator struct {
+	g       *graph.Graph
+	adj     []map[graph.ID]bool
+	yield   func([]graph.ID) bool
+	count   int
+	stopped bool
+}
+
+// expand is Bron–Kerbosch with pivoting: r is the current clique, p the
+// candidates, x the excluded set (already-covered vertices).
+func (e *enumerator) expand(r, p, x []graph.ID) {
+	if e.stopped {
+		return
+	}
+	if len(p) == 0 && len(x) == 0 {
+		e.count++
+		clique := append([]graph.ID(nil), r...)
+		sortIDs(clique)
+		if !e.yield(clique) {
+			e.stopped = true
+		}
+		return
+	}
+	// Pivot: the vertex of p ∪ x with the most neighbours in p minimises
+	// the branching (only non-neighbours of the pivot are expanded).
+	pivot := graph.ID(-1)
+	bestCover := -1
+	for _, cand := range [][]graph.ID{p, x} {
+		for _, u := range cand {
+			cover := 0
+			for _, w := range p {
+				if e.adj[u][w] {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				bestCover = cover
+				pivot = u
+			}
+		}
+	}
+	// Iterate a stable copy: p and x mutate during the loop.
+	branch := make([]graph.ID, 0, len(p)-bestCover)
+	for _, v := range p {
+		if !e.adj[pivot][v] {
+			branch = append(branch, v)
+		}
+	}
+	for _, v := range branch {
+		if e.stopped {
+			return
+		}
+		var np, nx []graph.ID
+		for _, w := range p {
+			if e.adj[v][w] {
+				np = append(np, w)
+			}
+		}
+		for _, w := range x {
+			if e.adj[v][w] {
+				nx = append(nx, w)
+			}
+		}
+		e.expand(append(r, v), np, nx)
+		// Move v from p to x.
+		p = remove(p, v)
+		x = insertSorted(x, v)
+	}
+}
+
+func sortIDs(s []graph.ID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func remove(s []graph.ID, v graph.ID) []graph.ID {
+	for i, w := range s {
+		if w == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func insertSorted(s []graph.ID, v graph.ID) []graph.ID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,220 @@
+package clique
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func cliqueSetEqual(t *testing.T, got [][]graph.ID, want [][]graph.ID) {
+	t.Helper()
+	key := func(c []graph.ID) string {
+		s := ""
+		for _, v := range c {
+			s += string(rune(v)) + ","
+		}
+		return s
+	}
+	norm := func(cs [][]graph.ID) map[string]bool {
+		m := map[string]bool{}
+		for _, c := range cs {
+			cc := append([]graph.ID(nil), c...)
+			sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+			m[key(cc)] = true
+		}
+		return m
+	}
+	if !reflect.DeepEqual(norm(got), norm(want)) {
+		t.Fatalf("clique sets differ:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestTriangleWithTail(t *testing.T) {
+	// Triangle {0,1,2} with tail 2-3.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	got := MaximalCliques(g)
+	cliqueSetEqual(t, got, [][]graph.ID{{0, 1, 2}, {2, 3}})
+}
+
+func TestCompleteGraphOneClique(t *testing.T) {
+	got := MaximalCliques(gen.Complete(6))
+	if len(got) != 1 || len(got[0]) != 6 {
+		t.Fatalf("K6 cliques: %v", got)
+	}
+}
+
+func TestPathCliquesAreEdges(t *testing.T) {
+	got := MaximalCliques(gen.Path(5))
+	if len(got) != 4 {
+		t.Fatalf("path cliques: %v", got)
+	}
+	for _, c := range got {
+		if len(c) != 2 {
+			t.Fatalf("non-edge clique on a path: %v", c)
+		}
+	}
+}
+
+func TestTwoCliquesBridge(t *testing.T) {
+	// Two K4s sharing vertex 3.
+	g := graph.New(7)
+	for i := graph.ID(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	for i := graph.ID(3); i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	got := MaximalCliques(g)
+	cliqueSetEqual(t, got, [][]graph.ID{{0, 1, 2, 3}, {3, 4, 5, 6}})
+}
+
+func TestMaxClique(t *testing.T) {
+	g, _ := gen.CommunityScaleFree(100, 4, 3, 10, 3, gen.Config{})
+	// Plant a K6 on existing vertices.
+	planted := []graph.ID{5, 17, 33, 48, 71, 90}
+	for i := 0; i < len(planted); i++ {
+		for j := i + 1; j < len(planted); j++ {
+			if !g.HasEdge(planted[i], planted[j]) {
+				g.AddEdge(planted[i], planted[j], 1)
+			}
+		}
+	}
+	best := MaxClique(g, 0)
+	if len(best) < 6 {
+		t.Fatalf("max clique %v smaller than planted K6", best)
+	}
+}
+
+func TestAnytimeInterruption(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 6, gen.Config{})
+	total := Enumerate(g, func([]graph.ID) bool { return true })
+	if total < 10 {
+		t.Fatalf("only %d maximal cliques; graph too small for the test", total)
+	}
+	stopAt := total / 2
+	seen := 0
+	reported := Enumerate(g, func([]graph.ID) bool {
+		seen++
+		return seen < stopAt
+	})
+	if reported != stopAt {
+		t.Fatalf("interrupted enumeration reported %d, want %d", reported, stopAt)
+	}
+	// Budgeted max-clique returns something sane.
+	best := MaxClique(g, 5)
+	if len(best) < 2 {
+		t.Fatalf("budgeted best %v", best)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if n := Enumerate(graph.New(0), func([]graph.ID) bool { return true }); n != 0 {
+		t.Fatalf("empty graph yielded %d cliques", n)
+	}
+	got := MaximalCliques(graph.New(1))
+	cliqueSetEqual(t, got, [][]graph.ID{{0}})
+}
+
+// bruteMaximalCliques enumerates all subsets (small n) and keeps the
+// maximal complete ones — an oracle for the property test.
+func bruteMaximalCliques(g *graph.Graph) [][]graph.ID {
+	live := g.Vertices()
+	n := len(live)
+	isClique := func(mask int) bool {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<j) != 0 && !g.HasEdge(live[i], live[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var cliques []int
+	for mask := 1; mask < 1<<n; mask++ {
+		if isClique(mask) {
+			cliques = append(cliques, mask)
+		}
+	}
+	var out [][]graph.ID
+	for _, m := range cliques {
+		maximal := true
+		for _, m2 := range cliques {
+			if m2 != m && m2&m == m {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			var c []graph.ID
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					c = append(c, live[i])
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) != 0 {
+					g.AddEdge(graph.ID(i), graph.ID(j), 1)
+				}
+			}
+		}
+		got := MaximalCliques(g)
+		want := bruteMaximalCliques(g)
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d cliques, want %d", seed, len(got), len(want))
+			return false
+		}
+		wantSet := map[string]bool{}
+		for _, c := range want {
+			wantSet[fmtClique(c)] = true
+		}
+		for _, c := range got {
+			if !wantSet[fmtClique(c)] {
+				t.Logf("seed %d: unexpected clique %v", seed, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(16))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtClique(c []graph.ID) string {
+	cc := append([]graph.ID(nil), c...)
+	sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+	s := ""
+	for _, v := range cc {
+		s += string(rune('A'+v)) + "."
+	}
+	return s
+}

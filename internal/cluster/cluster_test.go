@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aacc/internal/logp"
+)
+
+func model(p int) logp.Params {
+	return logp.Params{Latency: 1e-3, Overhead: 1e-4, Gap: 1e-9, P: p, MaxMsg: 1 << 20}
+}
+
+func TestParallelRunsEveryProcessorOnce(t *testing.T) {
+	c := New(8, model(8))
+	var count int64
+	seen := make([]int32, 8)
+	c.Parallel(func(p int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&seen[p], 1)
+	})
+	if count != 8 {
+		t.Fatalf("ran %d times", count)
+	}
+	for p, s := range seen {
+		if s != 1 {
+			t.Fatalf("proc %d ran %d times", p, s)
+		}
+	}
+}
+
+func TestParallelAccountsMaxTime(t *testing.T) {
+	c := New(4, model(4))
+	c.Parallel(func(p int) {
+		if p == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	st := c.Stats()
+	if st.SimCompute < 20*time.Millisecond {
+		t.Fatalf("SimCompute %v < slowest processor", st.SimCompute)
+	}
+}
+
+func TestExchangeRouting(t *testing.T) {
+	c := New(3, model(3))
+	out := make([][]*Mail, 3)
+	for i := range out {
+		out[i] = make([]*Mail, 3)
+	}
+	out[0][2] = &Mail{Payload: "a", Bytes: 10}
+	out[2][0] = &Mail{Payload: "b", Bytes: 20}
+	out[1][0] = &Mail{Payload: "c", Bytes: 30}
+	in := c.Exchange(out)
+	if in[2][0] == nil || in[2][0].Payload != "a" {
+		t.Fatal("mail 0->2 lost")
+	}
+	if in[0][2] == nil || in[0][2].Payload != "b" {
+		t.Fatal("mail 2->0 lost")
+	}
+	if in[0][1] == nil || in[0][1].Payload != "c" {
+		t.Fatal("mail 1->0 lost")
+	}
+	if in[1][0] != nil {
+		t.Fatal("phantom mail")
+	}
+	st := c.Stats()
+	if st.MessagesSent != 3 || st.BytesSent != 60 || st.ExchangeRounds != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestExchangeIgnoresSelfMail(t *testing.T) {
+	c := New(2, model(2))
+	out := [][]*Mail{{{Payload: "self", Bytes: 5}, nil}, nil}
+	in := c.Exchange(out)
+	if in[0][0] != nil {
+		t.Fatal("self mail delivered")
+	}
+	if c.Stats().MessagesSent != 0 {
+		t.Fatal("self mail counted")
+	}
+}
+
+func TestExchangePanicsOnBadShape(t *testing.T) {
+	c := New(2, model(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Exchange(make([][]*Mail, 3))
+}
+
+func TestExchangeCommTimePricedSequentially(t *testing.T) {
+	c := New(4, model(4))
+	out := make([][]*Mail, 4)
+	for i := range out {
+		out[i] = make([]*Mail, 4)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = &Mail{Bytes: 1000}
+			}
+		}
+	}
+	c.Exchange(out)
+	st := c.Stats()
+	// 12 messages, each >= L=1ms, strictly serialised.
+	if st.SimComm < 12*time.Millisecond {
+		t.Fatalf("SimComm %v, want >= 12ms", st.SimComm)
+	}
+}
+
+func TestBroadcastAccounting(t *testing.T) {
+	c := New(8, model(8))
+	m := c.Broadcast(0, &Mail{Payload: 1, Bytes: 100})
+	if m == nil || m.Payload != 1 {
+		t.Fatal("broadcast payload lost")
+	}
+	st := c.Stats()
+	if st.Broadcasts != 1 || st.MessagesSent != 7 || st.BytesSent != 700 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.SimComm < 3*time.Millisecond { // ceil(log2(8)) = 3 rounds of >= 1ms
+		t.Fatalf("SimComm %v", st.SimComm)
+	}
+}
+
+func TestAccountersAndReset(t *testing.T) {
+	c := New(2, model(2))
+	c.AccountPointToPoint(500)
+	c.AccountCompute(5 * time.Millisecond)
+	st := c.Stats()
+	if st.MessagesSent != 1 || st.BytesSent != 500 || st.SimCompute != 5*time.Millisecond {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.SimTotal() != st.SimCompute+st.SimComm {
+		t.Fatal("SimTotal mismatch")
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.MessagesSent != 0 || s.SimCompute != 0 {
+		t.Fatalf("reset incomplete: %+v", s)
+	}
+}
+
+func TestNewPanicsOnZeroProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, model(1))
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// chanTransport is an in-process Transport double: frames are transposed
+// synchronously. It lets the wire path be tested without sockets.
+type chanTransport struct {
+	n      int
+	rounds int
+	fail   bool
+}
+
+func (c *chanTransport) RoundTrip(frames [][][]byte) ([][][]byte, error) {
+	if c.fail {
+		return nil, fmt.Errorf("injected transport failure")
+	}
+	c.rounds++
+	in := make([][][]byte, c.n)
+	for dst := range in {
+		in[dst] = make([][]byte, c.n)
+	}
+	for src := range frames {
+		for dst, f := range frames[src] {
+			if f != nil {
+				in[dst][src] = f
+			}
+		}
+	}
+	return in, nil
+}
+
+func (c *chanTransport) Close() error { return nil }
+
+// stringCodec encodes string payloads for the double.
+type stringCodec struct{}
+
+func (stringCodec) Encode(p any) ([]byte, error) {
+	s, ok := p.(string)
+	if !ok {
+		return nil, fmt.Errorf("not a string: %T", p)
+	}
+	return []byte(s), nil
+}
+
+func (stringCodec) Decode(frame []byte) (any, error) { return string(frame), nil }
+
+func TestExchangeWireRoutesAndAccounts(t *testing.T) {
+	tr := &chanTransport{n: 3}
+	c := New(3, model(3))
+	c.EnableWire(tr, stringCodec{})
+	out := make([][]*Mail, 3)
+	for i := range out {
+		out[i] = make([]*Mail, 3)
+	}
+	out[0][2] = &Mail{Payload: "hello", Bytes: 999} // Bytes estimate ignored in wire mode
+	out[1][0] = &Mail{Payload: "yo", Bytes: 999}
+	in := c.Exchange(out)
+	if in[2][0] == nil || in[2][0].Payload != "hello" {
+		t.Fatalf("payload lost: %+v", in[2][0])
+	}
+	if in[2][0].Bytes != 5 {
+		t.Fatalf("wire bytes %d, want measured 5", in[2][0].Bytes)
+	}
+	st := c.Stats()
+	if st.BytesSent != 5+2 {
+		t.Fatalf("accounted %d bytes, want 7 (measured frames)", st.BytesSent)
+	}
+	if st.MessagesSent != 2 || st.ExchangeRounds != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if tr.rounds != 1 {
+		t.Fatalf("transport rounds %d", tr.rounds)
+	}
+}
+
+func TestExchangeWirePanicsOnTransportFailure(t *testing.T) {
+	c := New(2, model(2))
+	c.EnableWire(&chanTransport{n: 2, fail: true}, stringCodec{})
+	out := [][]*Mail{{nil, {Payload: "x", Bytes: 1}}, {nil, nil}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on transport failure")
+		}
+	}()
+	c.Exchange(out)
+}
+
+func TestExchangeWirePanicsOnCodecFailure(t *testing.T) {
+	c := New(2, model(2))
+	c.EnableWire(&chanTransport{n: 2}, stringCodec{})
+	out := [][]*Mail{{nil, {Payload: 42, Bytes: 1}}, {nil, nil}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on codec failure")
+		}
+	}()
+	c.Exchange(out)
+}
+
+func TestEnableWireValidates(t *testing.T) {
+	c := New(2, model(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil transport")
+		}
+	}()
+	c.EnableWire(nil, nil)
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func TestCheckpointRoundTripConverged(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, 71, gen.Config{MaxWeight: 3})
+	e := mustEngine(t, g, 8)
+	mustRun(t, e)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCheckpoint(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P() != 8 {
+		t.Fatalf("restored P=%d", r.P())
+	}
+	mustRun(t, r)
+	checkExact(t, r)
+	// Ownership must survive exactly.
+	for _, v := range g.Vertices() {
+		if r.Owner(v) != e.Owner(v) {
+			t.Fatalf("owner of %d changed: %d -> %d", v, e.Owner(v), r.Owner(v))
+		}
+	}
+}
+
+func TestCheckpointMidAnalysisPreservesPartialResults(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 2, 72, gen.Config{MaxWeight: 2})
+	e := mustEngine(t, g, 8)
+	e.Step()
+	e.Step()
+	before := e.Distances()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCheckpoint(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r.Distances()
+	for v, row := range before {
+		for u := range row {
+			if after[v][u] != row[u] {
+				t.Fatalf("restored d(%d,%d)=%d, checkpointed %d", v, u, after[v][u], row[u])
+			}
+		}
+	}
+	mustRun(t, r)
+	checkExact(t, r)
+}
+
+func TestCheckpointThenDynamics(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, 73, gen.Config{})
+	e := mustEngine(t, g, 4)
+	mustRun(t, e)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCheckpoint(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &VertexBatch{Count: 3, External: []AttachEdge{{New: 0, To: 5, W: 1}, {New: 2, To: 50, W: 2}}}
+	if _, err := r.ApplyVertexAdditions(batch, &RoundRobinPS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyEdgeDeletions([][2]graph.ID{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, r)
+	checkExact(t, r)
+}
+
+func TestCheckpointWithRemovedVertices(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, 74, gen.Config{})
+	e := mustEngine(t, g, 4)
+	mustRun(t, e)
+	if err := e.RemoveVertices([]graph.ID{7}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCheckpoint(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph().Has(7) {
+		t.Fatal("removed vertex resurrected")
+	}
+	mustRun(t, r)
+	checkExact(t, r)
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint")), Options{}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestEagerDeletionConverged(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 75, gen.Config{MaxWeight: 3})
+	e := mustEngine(t, g, 8)
+	mustRun(t, e)
+	edges := g.Edges()
+	del := [][2]graph.ID{{edges[2].U, edges[2].V}, {edges[9].U, edges[9].V}}
+	if err := e.ApplyEdgeDeletionsEager(del); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	checkExact(t, e)
+}
+
+func TestEagerDeletionMidAnalysisNoBarrier(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, 76, gen.Config{MaxWeight: 3})
+	e := mustEngine(t, g, 8)
+	e.Step() // partial state; eager mode must NOT converge first
+	steps := e.StepCount()
+	edges := e.Graph().Edges()
+	if err := e.ApplyEdgeDeletionsEager([][2]graph.ID{{edges[4].U, edges[4].V}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.StepCount() != steps {
+		t.Fatalf("eager deletion ran %d hidden RC steps", e.StepCount()-steps)
+	}
+	mustRun(t, e)
+	checkExact(t, e)
+}
+
+// TestPropertyEagerDeletionInterleaved: eager deletions interleaved with
+// additions at arbitrary analysis points, without any convergence barrier,
+// still converge to the oracle.
+func TestPropertyEagerDeletionInterleaved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(50+rng.Intn(80), 2, rng.Int63(), gen.Config{MaxWeight: 4})
+		e, err := New(g, Options{P: 2 + rng.Intn(10), Seed: rng.Int63()})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			for s := rng.Intn(3); s > 0 && !e.Converged(); s-- {
+				e.Step()
+			}
+			if rng.Intn(2) == 0 {
+				edges := e.Graph().Edges()
+				if len(edges) == 0 {
+					continue
+				}
+				var del [][2]graph.ID
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					ed := edges[rng.Intn(len(edges))]
+					del = append(del, [2]graph.ID{ed.U, ed.V})
+				}
+				if err := e.ApplyEdgeDeletionsEager(del); err != nil {
+					return false
+				}
+			} else {
+				u := graph.ID(rng.Intn(e.Graph().NumIDs()))
+				v := graph.ID(rng.Intn(e.Graph().NumIDs()))
+				if u != v {
+					if err := e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: u, V: v, W: int32(1 + rng.Intn(4))}}); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		want := exactScores(e)
+		got := e.Scores()
+		for _, v := range e.Graph().Vertices() {
+			if d := got.Harmonic[v] - want.Harmonic[v]; d > 1e-9 || d < -1e-9 {
+				t.Logf("seed %d: harmonic mismatch at %d: %g vs %g", seed, v, got.Harmonic[v], want.Harmonic[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Fatal(err)
+	}
+}

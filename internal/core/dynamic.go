@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aacc/internal/cluster"
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+	"aacc/internal/sssp"
+)
+
+// This file implements the "anywhere" half of the engine: dynamic graph
+// changes folded into a running analysis between RC steps. Edge additions
+// follow the paper's Fig. 3 algorithm; edge deletions implement the
+// invalidate-and-reconverge strategy of the titled paper; vertex additions
+// combine DV growth with the edge-addition kernel (Fig. 2/3); vertex
+// deletions (the paper's future work) compose edge deletions with row and
+// column retirement.
+
+// ApplyEdgeAdditions inserts the given new edges and incrementally updates
+// all distance vectors through them. Edges that already exist with a weight
+// <= the new one are ignored; a strictly smaller weight is treated as a
+// weight decrease (same relaxation). The engine is left un-converged; run
+// Step/Run to propagate the effects.
+func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
+	applied := make([]graph.EdgeTriple, 0, len(edges))
+	for _, ed := range edges {
+		if !e.g.Has(ed.U) || !e.g.Has(ed.V) {
+			return fmt.Errorf("core: edge {%d,%d} references a dead vertex", ed.U, ed.V)
+		}
+		if ed.U == ed.V {
+			return fmt.Errorf("core: self-loop {%d,%d}", ed.U, ed.V)
+		}
+		if w, ok := e.g.Weight(ed.U, ed.V); ok && w <= ed.W {
+			continue // no shorter than what exists
+		}
+		e.g.AddEdge(ed.U, ed.V, ed.W)
+		applied = append(applied, ed)
+	}
+	if len(applied) == 0 {
+		return nil
+	}
+	e.relaxEdgeBatch(sortedEdgeList(applied))
+	e.trace("edge-add", "%d edges applied", len(applied))
+	e.conv = false
+	return nil
+}
+
+// relaxEdgeBatch broadcasts the DV rows of every endpoint of the batch
+// (tree broadcast, as in Fig. 3 line 22) and then relaxes every local row on
+// every processor through every new edge.
+func (e *Engine) relaxEdgeBatch(edges []graph.EdgeTriple) {
+	endRows := e.broadcastRows(edgeEndpoints(edges))
+	e.cl.Parallel(func(p int) {
+		e.procs[p].relaxThroughEdges(e, edges, endRows)
+	})
+}
+
+// edgeEndpoints returns the sorted distinct endpoints of a batch.
+func edgeEndpoints(edges []graph.EdgeTriple) []graph.ID {
+	set := make(map[graph.ID]bool, 2*len(edges))
+	for _, ed := range edges {
+		set[ed.U] = true
+		set[ed.V] = true
+	}
+	return sortedIDs(set)
+}
+
+// broadcastRows snapshots the current DV row of each vertex from its owner
+// and accounts one tree broadcast per row.
+func (e *Engine) broadcastRows(ids []graph.ID) map[graph.ID][]int32 {
+	out := make(map[graph.ID][]int32, len(ids))
+	for _, v := range ids {
+		o := e.Owner(v)
+		if o < 0 {
+			continue
+		}
+		row := e.procs[o].store.CloneRow(v)
+		if row == nil {
+			continue
+		}
+		out[v] = row
+		e.cl.Broadcast(o, &cluster.Mail{Payload: v, Bytes: 4 + 4*len(row)})
+	}
+	return out
+}
+
+// ApplyEdgeDeletions removes the given edges as one joint batch and
+// invalidates every distance entry that may be supported by a path through
+// any of them, re-deriving invalidated rows from fresh local Dijkstra runs
+// merged over the surviving partial results. The engine is left
+// un-converged; run Step/Run to re-reach the fixpoint.
+//
+// The invalidation test — "entry (x,t) may be supported through deleted
+// edge {u,v} iff d(x,t) >= d(x,u)+w+d(v,t) or the symmetric bound" — is
+// sound only on *exact* distances: on partial upper bounds it can miss
+// entries whose supporting path walks through the edge but whose value was
+// derived without consulting the endpoint rows (e.g. inside one local
+// Dijkstra). The engine therefore first runs RC steps to the fixpoint if it
+// is not converged (the cost is charged to the same totals). Additions need
+// no such barrier. This mirrors the titled paper's streaming setting, where
+// deletions update the maintained (converged) closeness state; the win over
+// baseline restart is that every surviving entry is reused.
+func (e *Engine) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
+	var batch []graph.EdgeTriple
+	seen := make(map[[2]graph.ID]bool, len(pairs))
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]graph.ID{u, v}] {
+			continue
+		}
+		seen[[2]graph.ID{u, v}] = true
+		if w, ok := e.g.Weight(u, v); ok {
+			batch = append(batch, graph.EdgeTriple{U: u, V: v, W: w})
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if !e.conv {
+		if _, err := e.Run(); err != nil {
+			return fmt.Errorf("core: converging before deletion batch: %w", err)
+		}
+	}
+	batch = sortedEdgeList(batch)
+	endRows := e.broadcastRows(edgeEndpoints(batch))
+	for _, ed := range batch {
+		e.g.RemoveEdge(ed.U, ed.V)
+	}
+	e.invalidateAndReseed(batch, endRows)
+	e.trace("edge-delete", "%d edges removed (barrier mode)", len(batch))
+	e.conv = false
+	return nil
+}
+
+// invalidateAndReseed sweeps every stored row (local rows and external
+// snapshots) on every processor with the deletion invalidation test for the
+// whole batch, then re-derives invalidated local rows: a fresh local
+// Dijkstra is merged in (reusing every surviving partial result) and the row
+// is relaxed through *all* stored rows — not just recently-changed ones —
+// because invalidation destroys the incremental-propagation invariant that a
+// row has already seen every source it depends on. Owners of snapshots that
+// lost entries are marked to re-send, refreshing the holes.
+//
+// Each row is tested against a pristine pre-sweep copy of itself: the test
+// for one deleted edge must not observe the invalidations of another, or
+// prefix-witness columns disappear and supported entries slip through.
+func (e *Engine) invalidateAndReseed(batch []graph.EdgeTriple, endRows map[graph.ID][]int32) {
+	refresh := make([]map[graph.ID]bool, e.opts.P)
+	e.cl.Parallel(func(p int) {
+		pr := e.procs[p]
+		pr.ensureScratch(e.width)
+		pristine := make([]int32, e.width)
+		sweep := func(row []int32, self graph.ID) int {
+			copy(pristine, row)
+			n := 0
+			for _, ed := range batch {
+				n += invalidateThroughEdge(pristine, row, self, ed.U, ed.V, ed.W, endRows[ed.U], endRows[ed.V])
+			}
+			return n
+		}
+		// Phase 1: invalidate every stored row before any re-derivation,
+		// so no relaxation can re-poison entries from a not-yet-swept row.
+		var hit []graph.ID
+		for _, x := range pr.local {
+			if sweep(pr.store.Row(x), x) > 0 {
+				hit = append(hit, x)
+				pr.noteRowFull(x)
+			}
+		}
+		holes := make(map[graph.ID]bool)
+		for s, row := range pr.ext {
+			if len(row) < e.width {
+				continue // stale narrow snapshot; owner will refresh
+			}
+			if sweep(row, s) > 0 {
+				holes[s] = true
+			}
+		}
+		refresh[p] = holes
+		if len(hit) == 0 {
+			return
+		}
+		// Phase 2: reseed and fully relax the invalidated local rows
+		// through every held source (invalidation destroyed the
+		// incremental invariant that they have seen all sources).
+		sources := make([]relaxSource, 0, len(pr.ext)+len(pr.local))
+		for _, s := range sortedExtIDs(pr.ext) {
+			sources = append(sources, relaxSource{id: s, row: pr.ext[s]})
+		}
+		for _, s := range pr.local {
+			sources = append(sources, relaxSource{id: s, row: pr.store.Row(s)})
+		}
+		for _, x := range hit {
+			row := pr.store.Row(x)
+			sssp.DijkstraLocal(e.g, x, pr.isLocal, pr.scratch, pr.heap)
+			mergeMin(row, pr.scratch)
+			pr.relaxRowSources(x, sources)
+		}
+	})
+	// Snapshots with holes are stale until their owner re-sends; queue a
+	// full refresh of the owner's intact row for the next exchange.
+	for _, holes := range refresh {
+		for s := range holes {
+			if o := e.Owner(s); o >= 0 {
+				e.procs[o].noteRowFull(s)
+			}
+		}
+	}
+}
+
+func sortedExtIDs(ext map[graph.ID][]int32) []graph.ID {
+	ids := make([]graph.ID, 0, len(ext))
+	for v := range ext {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ApplyEdgeDeletionsEager removes the given edges *without* the convergence
+// barrier of ApplyEdgeDeletions, preserving the "anywhere" property for
+// deletions at the price of coarser invalidation: any row whose columns for
+// both endpoints of a deleted edge are finite is reset wholesale and
+// reseeded from a local Dijkstra. Soundness on arbitrary partial state
+// follows from row path-closure — an entry supported by a path through edge
+// {u,v} always has finite u and v columns in its own row — so resetting
+// every such row removes every possibly-supported entry without any
+// distance arithmetic. On converged state almost every row qualifies, which
+// degenerates toward a restart; prefer ApplyEdgeDeletions there.
+func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
+	var batch []graph.EdgeTriple
+	seen := make(map[[2]graph.ID]bool, len(pairs))
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]graph.ID{u, v}] {
+			continue
+		}
+		seen[[2]graph.ID{u, v}] = true
+		if w, ok := e.g.Weight(u, v); ok {
+			batch = append(batch, graph.EdgeTriple{U: u, V: v, W: w})
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, ed := range batch {
+		e.g.RemoveEdge(ed.U, ed.V)
+	}
+	suspect := func(row []int32) bool {
+		for _, ed := range batch {
+			if int(ed.U) < len(row) && int(ed.V) < len(row) &&
+				row[ed.U] != dv.Inf && row[ed.V] != dv.Inf {
+				return true
+			}
+		}
+		return false
+	}
+	refresh := make([]map[graph.ID]bool, e.opts.P)
+	e.cl.Parallel(func(p int) {
+		pr := e.procs[p]
+		pr.ensureScratch(e.width)
+		var hit []graph.ID
+		for _, x := range pr.local {
+			row := pr.store.Row(x)
+			if !suspect(row) {
+				continue
+			}
+			for t := range row {
+				if graph.ID(t) != x {
+					row[t] = dv.Inf
+				}
+			}
+			hit = append(hit, x)
+			pr.noteRowFull(x)
+		}
+		// Snapshots whose rows are suspect are dropped; the owner will
+		// re-send after its own reset.
+		holes := make(map[graph.ID]bool)
+		for s, row := range pr.ext {
+			if suspect(row) {
+				delete(pr.ext, s)
+				delete(pr.extPending, s)
+				holes[s] = true
+			}
+		}
+		refresh[p] = holes
+		// Reseed the wiped rows from the local subgraph and relax them
+		// through every surviving source.
+		if len(hit) == 0 {
+			return
+		}
+		sources := make([]relaxSource, 0, len(pr.ext)+len(pr.local))
+		for _, s := range sortedExtIDs(pr.ext) {
+			sources = append(sources, relaxSource{id: s, row: pr.ext[s]})
+		}
+		for _, s := range pr.local {
+			sources = append(sources, relaxSource{id: s, row: pr.store.Row(s)})
+		}
+		for _, x := range hit {
+			sssp.DijkstraLocal(e.g, x, pr.isLocal, pr.scratch, pr.heap)
+			mergeMin(pr.store.Row(x), pr.scratch)
+			pr.relaxRowSources(x, sources)
+		}
+	})
+	for _, holes := range refresh {
+		for s := range holes {
+			if o := e.Owner(s); o >= 0 {
+				e.procs[o].noteRowFull(s)
+			}
+		}
+	}
+	e.trace("edge-delete", "%d edges removed (eager mode)", len(batch))
+	e.conv = false
+	return nil
+}
+
+// SetEdgeWeight changes the weight of an existing edge. A decrease is an
+// incremental relaxation; an increase is a deletion followed by an
+// insertion at the new weight, per the paper's edge-weight-change strategy.
+func (e *Engine) SetEdgeWeight(u, v graph.ID, w int32) error {
+	old, ok := e.g.Weight(u, v)
+	if !ok {
+		return fmt.Errorf("core: SetEdgeWeight on missing edge {%d,%d}", u, v)
+	}
+	switch {
+	case w == old:
+		return nil
+	case w < old:
+		return e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: u, V: v, W: w}})
+	default:
+		if err := e.ApplyEdgeDeletions([][2]graph.ID{{u, v}}); err != nil {
+			return err
+		}
+		return e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: u, V: v, W: w}})
+	}
+}
+
+// BatchEdge is an edge between two vertices of the same VertexBatch,
+// identified by batch indices.
+type BatchEdge struct {
+	A, B int
+	W    int32
+}
+
+// AttachEdge connects a batch vertex to an existing graph vertex.
+type AttachEdge struct {
+	New int
+	To  graph.ID
+	W   int32
+}
+
+// VertexBatch describes a set of new vertices arriving together with their
+// edges — the unit of the paper's dynamic vertex additions. Internal edges
+// carry the community structure the CutEdge-PS strategy exploits.
+type VertexBatch struct {
+	Count    int
+	Internal []BatchEdge
+	External []AttachEdge
+}
+
+// Validate checks index ranges against the batch size.
+func (b *VertexBatch) Validate() error {
+	for _, ed := range b.Internal {
+		if ed.A < 0 || ed.A >= b.Count || ed.B < 0 || ed.B >= b.Count || ed.A == ed.B {
+			return fmt.Errorf("core: internal batch edge {%d,%d} out of range (count %d)", ed.A, ed.B, b.Count)
+		}
+	}
+	for _, ed := range b.External {
+		if ed.New < 0 || ed.New >= b.Count {
+			return fmt.Errorf("core: external batch edge index %d out of range (count %d)", ed.New, b.Count)
+		}
+	}
+	return nil
+}
+
+// NumEdges returns the total number of edges the batch introduces.
+func (b *VertexBatch) NumEdges() int { return len(b.Internal) + len(b.External) }
+
+// ApplyVertexAdditions performs the paper's anywhere vertex-addition
+// strategy (Fig. 2): choose owner processors for the new vertices with the
+// given assignment strategy, grow every DV by the new columns, and add the
+// batch's edges with the edge-addition algorithm (Fig. 3). It returns the
+// IDs assigned to the new vertices.
+func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) ([]graph.ID, error) {
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	if batch.Count == 0 {
+		return nil, nil
+	}
+	for _, ed := range batch.External {
+		if !e.g.Has(ed.To) {
+			return nil, fmt.Errorf("core: batch attaches to dead vertex %d", ed.To)
+		}
+	}
+	placement := ps.Assign(e, batch)
+	if len(placement) != batch.Count {
+		return nil, fmt.Errorf("core: %s assigned %d of %d vertices", ps.Name(), len(placement), batch.Count)
+	}
+	for i, p := range placement {
+		if p < 0 || p >= e.opts.P {
+			return nil, fmt.Errorf("core: %s assigned vertex %d to invalid processor %d", ps.Name(), i, p)
+		}
+	}
+	first := e.g.AddVertices(batch.Count)
+	e.growTo(e.g.NumIDs())
+	ids := make([]graph.ID, batch.Count)
+	for i := range ids {
+		ids[i] = first + graph.ID(i)
+	}
+	// Register ownership, then create the new rows (Fig. 3 lines 11–18).
+	for i, p := range placement {
+		e.owner[ids[i]] = int16(p)
+	}
+	e.cl.Parallel(func(p int) {
+		pr := e.procs[p]
+		for i, owner := range placement {
+			if owner != p {
+				continue
+			}
+			v := ids[i]
+			pr.local = append(pr.local, v)
+			pr.isLocal[v] = true
+			pr.store.AddRow(v)
+		}
+		sort.Slice(pr.local, func(a, b int) bool { return pr.local[a] < pr.local[b] })
+	})
+	// Add the batch's edges via the edge-addition kernel (lines 19–44).
+	edges := make([]graph.EdgeTriple, 0, batch.NumEdges())
+	for _, ed := range batch.Internal {
+		edges = append(edges, graph.EdgeTriple{U: ids[ed.A], V: ids[ed.B], W: ed.W})
+	}
+	for _, ed := range batch.External {
+		edges = append(edges, graph.EdgeTriple{U: ids[ed.New], V: ed.To, W: ed.W})
+	}
+	if err := e.ApplyEdgeAdditions(edges); err != nil {
+		return nil, err
+	}
+	// Seed each new row with an IA-quality local Dijkstra (the new vertex
+	// joined its owner's local subgraph): one good initial vector instead
+	// of many dribbling refinements across later RC steps.
+	e.cl.Parallel(func(p int) {
+		pr := e.procs[p]
+		pr.ensureScratch(e.width)
+		for i, owner := range placement {
+			if owner != p {
+				continue
+			}
+			v := ids[i]
+			sssp.DijkstraLocal(e.g, v, pr.isLocal, pr.scratch, pr.heap)
+			if cols := mergeMin(pr.store.Row(v), pr.scratch); len(cols) > 0 {
+				pr.noteRowChanged(e, v, cols, true)
+			}
+		}
+	})
+	e.trace("vertex-add", "%d vertices, %d edges via %s", batch.Count, batch.NumEdges(), ps.Name())
+	e.conv = false
+	return ids, nil
+}
+
+// RemoveVertices deletes the given live vertices: all incident edges are
+// removed with the deletion strategy, then the rows, columns and ownership
+// of the vertices are retired. This is the vertex-deletion extension the
+// paper lists as future work.
+func (e *Engine) RemoveVertices(ids []graph.ID) error {
+	for _, v := range ids {
+		if !e.g.Has(v) {
+			return fmt.Errorf("core: RemoveVertices of dead vertex %d", v)
+		}
+	}
+	// All incident edges of all doomed vertices go as one joint deletion
+	// batch: one closure-sound sweep instead of one per edge.
+	var pairs [][2]graph.ID
+	for _, v := range ids {
+		for _, ed := range e.g.Neighbors(v) {
+			pairs = append(pairs, [2]graph.ID{v, ed.To})
+		}
+	}
+	if err := e.ApplyEdgeDeletions(pairs); err != nil {
+		return err
+	}
+	for _, v := range ids {
+		owner := e.Owner(v)
+		e.g.RemoveVertex(v)
+		e.owner[v] = -1
+		e.cl.Parallel(func(p int) {
+			pr := e.procs[p]
+			if p == owner {
+				pr.store.RemoveRow(v)
+				pr.isLocal[v] = false
+				for i, x := range pr.local {
+					if x == v {
+						pr.local = append(pr.local[:i], pr.local[i+1:]...)
+						break
+					}
+				}
+				delete(pr.dirtySend, v)
+				delete(pr.dirtySrc, v)
+				delete(pr.meta, v)
+			}
+			delete(pr.ext, v)
+			delete(pr.extPending, v)
+			delete(pr.pendingRescan, v)
+			// Distances *to* a removed vertex are no longer meaningful;
+			// clear the column so closeness sums skip it cleanly.
+			pr.store.ClearColumn(v)
+		})
+	}
+	e.conv = false
+	return nil
+}
+
+// growTo widens the global ID space on every processor: DV rows gain Inf
+// columns (amortised doubling), external snapshots likewise, and ownership
+// and locality arrays are extended.
+func (e *Engine) growTo(width int) {
+	if width <= e.width {
+		return
+	}
+	for len(e.owner) < width {
+		e.owner = append(e.owner, -1)
+	}
+	e.cl.Parallel(func(p int) {
+		pr := e.procs[p]
+		pr.store.Grow(width)
+		for v, row := range pr.ext {
+			if len(row) < width {
+				grown := make([]int32, width)
+				n := copy(grown, row)
+				for i := n; i < width; i++ {
+					grown[i] = dv.Inf
+				}
+				pr.ext[v] = grown
+			}
+		}
+		for len(pr.isLocal) < width {
+			pr.isLocal = append(pr.isLocal, false)
+		}
+	})
+	e.width = width
+}

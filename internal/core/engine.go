@@ -1,0 +1,554 @@
+// Package core implements the paper's primary contribution: the anytime
+// anywhere algorithm for closeness centrality on large and dynamic graphs.
+//
+// The Engine executes the three phases of the anytime anywhere methodology
+// on a simulated P-processor cluster:
+//
+//   - DD (domain decomposition): the input graph is partitioned into P
+//     balanced, cut-minimising subgraphs (internal/partition).
+//   - IA (initial approximation): each processor runs Dijkstra from every
+//     local vertex over its local subgraph — local vertices plus external
+//     boundary vertices acting as bridges — producing the initial distance
+//     vectors (DVs).
+//   - RC (recombination): iterative distance-vector-routing steps. Each step
+//     exchanges the changed boundary DVs over the personalised all-to-all
+//     schedule, relaxes local DVs through the received and locally-changed
+//     rows, and applies recombination strategies (dynamic changes, processor
+//     assignment, repartitioning) until a fixpoint.
+//
+// Anytime: distance estimates are monotonically non-increasing upper bounds
+// between deletions, so Scores() may be read at any step and only improves.
+// Anywhere: dynamic changes (edge additions/deletions, weight changes,
+// vertex additions/deletions) are folded in between RC steps without
+// restarting; see dynamic.go and strategies.go.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aacc/internal/centrality"
+	"aacc/internal/cluster"
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+	"aacc/internal/logp"
+	"aacc/internal/partition"
+	"aacc/internal/pqueue"
+	"aacc/internal/sssp"
+	"aacc/internal/transport"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// P is the number of simulated processors (1..64; boundary-peer sets
+	// are bitmasks). Default 16, the paper's processor count.
+	P int
+	// Partitioner performs the DD phase (and Repartition-S). Default
+	// partition.Multilevel, the METIS-family substitute.
+	Partitioner partition.Partitioner
+	// Model prices communication; zero value uses logp.GigabitCluster(P),
+	// modelled on the paper's 1 Gb/s testbed.
+	Model logp.Params
+	// Seed drives every randomised component (partitioner seeding).
+	Seed int64
+	// MaxSteps bounds a single Run call as a safety net. Default 8*P+n.
+	MaxSteps int
+	// Wire runs every recombination exchange over a real TCP loopback
+	// mesh (internal/transport): payloads are serialised with the binary
+	// wire codec and carried through the kernel network stack, standing in
+	// for the paper's MPI-over-Ethernet. Traffic accounting then reflects
+	// measured frame bytes. Close the engine to release the mesh.
+	Wire bool
+	// Tracer, when set, observes every RC step and dynamic event (see
+	// internal/trace for CSV/JSONL sinks). Tracer calls happen on the
+	// orchestration goroutine, never concurrently.
+	Tracer Tracer
+	// EagerLocalRefresh enables the paper's optional recombination
+	// strategy of refreshing all local DVs against each other every RC
+	// step (the Floyd–Warshall local update, O((n/P)²·n) here). It can
+	// shave RC steps by propagating information within a processor
+	// without waiting for the dirty-source machinery, at a large
+	// per-step cost; the default incremental path reaches the same
+	// fixpoint. Kept for fidelity and ablation.
+	EagerLocalRefresh bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.P == 0 {
+		o.P = 16
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = partition.Multilevel{Seed: o.Seed}
+	}
+	if o.Model == (logp.Params{}) {
+		o.Model = logp.GigabitCluster(o.P)
+	}
+	return o
+}
+
+// Engine is one anytime anywhere closeness-centrality analysis.
+type Engine struct {
+	g     *graph.Graph
+	opts  Options
+	cl    *cluster.Cluster
+	wire  *transport.TCPLoopback // non-nil in wire mode; closed by Close
+	owner []int16                // vertex ID -> processor, -1 for dead vertices
+	procs []*proc
+	width int // current global ID-space size
+	step  int
+	conv  bool
+}
+
+// proc is the per-processor state: the local DV rows, snapshots of external
+// boundary rows, and the dirty bookkeeping that drives delta propagation.
+type proc struct {
+	id    int
+	local []graph.ID // sorted local vertex IDs
+	store *dv.Store
+	// ext holds the latest received snapshot of each external boundary
+	// vertex's DV row (full receipts replace it; deltas patch it).
+	ext map[graph.ID][]int32
+	// dirtySend: local rows changed since they were last sent.
+	dirtySend map[graph.ID]bool
+	// dirtySrc: local rows changed since last used as relaxation sources.
+	dirtySrc map[graph.ID]bool
+	// meta: per-row change tracking (which columns, full flags, which
+	// peers hold an up-to-date snapshot).
+	meta map[graph.ID]*rowState
+	// extPending: snapshots changed since last used as relaxation
+	// sources, with the changed columns (full=true for whole-row scans).
+	extPending map[graph.ID]*extPending
+	// pendingRescan: row -> held sources whose distance column decreased
+	// in a mutation outside relax; the DVR rescan rule fires next relax.
+	pendingRescan map[graph.ID]map[graph.ID]struct{}
+	// isLocal[v] reports local ownership; sized to the engine width.
+	isLocal []bool
+	heap    *pqueue.Heap // scratch for local Dijkstra
+	scratch []int32      // scratch distance row
+}
+
+// extPending records how a held snapshot changed since the last relax.
+type extPending struct {
+	cols []int32
+	full bool
+}
+
+func (p *extPending) note(width int, cols []int32) {
+	if p.full {
+		return
+	}
+	p.cols = append(p.cols, cols...)
+	if len(p.cols) > width/colCap {
+		p.full = true
+		p.cols = nil
+	}
+}
+
+// boundaryMsg is the RC-step payload: for each changed boundary row either
+// a full copy (first contact, post-deletion refresh) or the changed
+// (column, value) pairs — the paper's "only the updated values of the
+// boundary DVs".
+type boundaryMsg struct {
+	ids  []graph.ID
+	full [][]int32 // full[i] != nil: complete row
+	cols [][]int32 // else cols[i]/vals[i]: sparse delta
+	vals [][]int32
+}
+
+func (m *boundaryMsg) add(v graph.ID, fullRow, cols, vals []int32) {
+	m.ids = append(m.ids, v)
+	m.full = append(m.full, fullRow)
+	m.cols = append(m.cols, cols)
+	m.vals = append(m.vals, vals)
+}
+
+func (m *boundaryMsg) bytes() int {
+	b := 0
+	for i := range m.ids {
+		if m.full[i] != nil {
+			b += 4 + 4*len(m.full[i])
+		} else {
+			b += 4 + 8*len(m.cols[i])
+		}
+	}
+	return b
+}
+
+// New builds an engine over g (which the engine takes ownership of and
+// mutates as dynamic changes are applied) and runs the DD and IA phases.
+// The first RC step happens on the first call to Step or Run.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if opts.P < 1 || opts.P > 64 {
+		return nil, fmt.Errorf("core: P must be in [1,64], got %d", opts.P)
+	}
+	e := &Engine{
+		g:    g,
+		opts: opts,
+		cl:   cluster.New(opts.P, opts.Model),
+	}
+	if opts.Wire {
+		mesh, err := transport.NewTCPLoopback(opts.P)
+		if err != nil {
+			return nil, fmt.Errorf("core: building wire mesh: %w", err)
+		}
+		e.wire = mesh
+		e.cl.EnableWire(mesh, WireCodec{})
+	}
+	e.initialize()
+	return e, nil
+}
+
+// Close releases resources held by optional modes (the wire mesh). Safe to
+// call on any engine; subsequent Steps on a wire engine will fail.
+func (e *Engine) Close() error {
+	if e.wire != nil {
+		return e.wire.Close()
+	}
+	return nil
+}
+
+// initialize runs DD and IA from the engine's current graph, discarding any
+// previous distance state. Reinitialize exposes it for the baseline-restart
+// method.
+func (e *Engine) initialize() {
+	start := time.Now()
+	assign := e.opts.Partitioner.Partition(e.g, e.opts.P)
+	e.cl.AccountCompute(time.Since(start))
+
+	e.width = e.g.NumIDs()
+	e.owner = make([]int16, e.width)
+	for i := range e.owner {
+		e.owner[i] = -1
+	}
+	for _, v := range e.g.Vertices() {
+		e.owner[v] = int16(assign.Of(v))
+	}
+	e.procs = make([]*proc, e.opts.P)
+	for p := 0; p < e.opts.P; p++ {
+		e.procs[p] = &proc{
+			id:            p,
+			store:         dv.NewStore(e.width),
+			ext:           make(map[graph.ID][]int32),
+			dirtySend:     make(map[graph.ID]bool),
+			dirtySrc:      make(map[graph.ID]bool),
+			meta:          make(map[graph.ID]*rowState),
+			extPending:    make(map[graph.ID]*extPending),
+			pendingRescan: make(map[graph.ID]map[graph.ID]struct{}),
+			isLocal:       make([]bool, e.width),
+		}
+	}
+	for _, v := range e.g.Vertices() {
+		pr := e.procs[e.owner[v]]
+		pr.local = append(pr.local, v)
+		pr.isLocal[v] = true
+	}
+	// IA: local Dijkstra per local vertex over the local subgraph.
+	e.cl.Parallel(func(p int) {
+		pr := e.procs[p]
+		sort.Slice(pr.local, func(i, j int) bool { return pr.local[i] < pr.local[j] })
+		pr.ensureScratch(e.width)
+		for _, v := range pr.local {
+			pr.store.AddRow(v)
+			sssp.DijkstraLocal(e.g, v, pr.isLocal, pr.scratch, pr.heap)
+			copy(pr.store.Row(v), pr.scratch)
+			// IA rows are sent whole, but are not relaxation sources:
+			// local closure means they offer nothing to each other.
+			pr.dirtySend[v] = true
+			pr.state(v).sendFull = true
+		}
+	})
+	e.step = 0
+	e.conv = false
+}
+
+func (pr *proc) ensureScratch(width int) {
+	if pr.heap == nil || len(pr.scratch) < width {
+		c := 2 * width
+		pr.heap = pqueue.New(c)
+		pr.scratch = make([]int32, c)
+	}
+	pr.scratch = pr.scratch[:width]
+}
+
+// Tracer observes the engine's progress: one StepDone per RC step and one
+// Event per dynamic operation. Implementations must not call back into the
+// engine.
+type Tracer interface {
+	StepDone(rep StepReport, stats cluster.Stats)
+	Event(kind, details string)
+}
+
+// trace emits a dynamic-operation event to the configured tracer.
+func (e *Engine) trace(kind, format string, args ...any) {
+	if e.opts.Tracer != nil {
+		e.opts.Tracer.Event(kind, fmt.Sprintf(format, args...))
+	}
+}
+
+// StepReport summarises one RC step.
+type StepReport struct {
+	Step         int
+	MessagesSent int
+	RowsSent     int
+	RowsChanged  int
+	Converged    bool
+}
+
+// Step performs one recombination step: boundary-DV exchange followed by
+// local relaxation. Dynamic changes are applied between steps via the
+// Apply* methods; this mirrors the paper's recombination template where the
+// strategy runs at line 17 of each iteration.
+func (e *Engine) Step() StepReport {
+	e.step++
+	p := e.opts.P
+	mail := make([][]*cluster.Mail, p)
+	rowsSent := make([]int, p)
+	e.cl.Parallel(func(i int) {
+		mail[i], rowsSent[i] = e.procs[i].collectMail(e)
+	})
+	in := e.cl.Exchange(mail)
+	changed := make([]int, p)
+	e.cl.Parallel(func(i int) {
+		changed[i] = e.procs[i].installAndRelax(e, in[i])
+		if e.opts.EagerLocalRefresh {
+			changed[i] += e.procs[i].eagerLocalRefresh(e)
+		}
+	})
+	rep := StepReport{Step: e.step}
+	for i := 0; i < p; i++ {
+		rep.RowsSent += rowsSent[i]
+		rep.RowsChanged += changed[i]
+		for _, m := range mail[i] {
+			if m != nil {
+				rep.MessagesSent++
+			}
+		}
+	}
+	e.conv = rep.MessagesSent == 0 && rep.RowsChanged == 0
+	rep.Converged = e.conv
+	if e.opts.Tracer != nil {
+		e.opts.Tracer.StepDone(rep, e.cl.Stats())
+	}
+	return rep
+}
+
+// Run executes RC steps until convergence (a step that exchanged nothing
+// and changed nothing) or until MaxSteps, returning the number of steps
+// taken in this call.
+func (e *Engine) Run() (int, error) {
+	max := e.opts.MaxSteps
+	if max <= 0 {
+		max = 8*e.opts.P + e.width + 16
+	}
+	steps := 0
+	for !e.conv {
+		if steps >= max {
+			return steps, fmt.Errorf("core: no convergence after %d RC steps", steps)
+		}
+		e.Step()
+		steps++
+	}
+	return steps, nil
+}
+
+// Converged reports whether the last step reached the fixpoint. Dynamic
+// changes clear it.
+func (e *Engine) Converged() bool { return e.conv }
+
+// StepCount returns the number of RC steps performed so far.
+func (e *Engine) StepCount() int { return e.step }
+
+// Graph returns the engine's graph. Mutating it directly desynchronises the
+// distance state; use the Apply* methods, or mutate and call Reinitialize
+// (the baseline-restart method).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Owner returns the processor owning v, or -1.
+func (e *Engine) Owner(v graph.ID) int {
+	if int(v) >= len(e.owner) {
+		return -1
+	}
+	return int(e.owner[v])
+}
+
+// Stats returns the simulated cluster's accounting counters.
+func (e *Engine) Stats() cluster.Stats { return e.cl.Stats() }
+
+// Assignment returns the current vertex-to-processor assignment as a
+// partition.Assignment (for cut/balance measurements).
+func (e *Engine) Assignment() partition.Assignment {
+	a := partition.NewAssignment(e.width, e.opts.P)
+	for v, o := range e.owner {
+		a.Part[v] = int(o)
+	}
+	return a
+}
+
+// P returns the number of simulated processors.
+func (e *Engine) P() int { return e.opts.P }
+
+// Reinitialize implements the paper's baseline-restart comparison method:
+// it throws away all partial results and re-runs DD and IA on the current
+// graph. Cumulative cluster statistics are preserved so restart cost
+// accrues into the same totals.
+func (e *Engine) Reinitialize() {
+	e.initialize()
+}
+
+// Distances returns a copy of every live vertex's current DV row, keyed by
+// vertex ID. Between deletions the entries are monotonically non-increasing
+// upper bounds; at convergence they equal true shortest-path distances.
+func (e *Engine) Distances() map[graph.ID][]int32 {
+	out := make(map[graph.ID][]int32, e.g.NumVertices())
+	for _, pr := range e.procs {
+		for _, v := range pr.local {
+			out[v] = append([]int32(nil), pr.store.Row(v)...)
+		}
+	}
+	return out
+}
+
+// Scores computes closeness centrality from the current (possibly partial)
+// distance vectors — the engine's anytime read-out. Between RC steps the
+// classic and harmonic scores only improve toward the exact values.
+func (e *Engine) Scores() centrality.Scores {
+	return centrality.FromDistances(e.Distances(), e.g.Vertices(), e.width)
+}
+
+// Distance returns the current estimate of d(u,v) (Inf if unknown).
+func (e *Engine) Distance(u, v graph.ID) int32 {
+	o := e.Owner(u)
+	if o < 0 {
+		return dv.Inf
+	}
+	return e.procs[o].store.Get(u, v)
+}
+
+// peerMask returns the bitmask of processors that have v as an external
+// boundary vertex (processors owning a neighbour of v, other than v's own).
+func (e *Engine) peerMask(v graph.ID) uint64 {
+	own := e.owner[v]
+	var mask uint64
+	for _, ed := range e.g.Neighbors(v) {
+		if o := e.owner[ed.To]; o >= 0 && o != own {
+			mask |= 1 << uint(o)
+		}
+	}
+	return mask
+}
+
+// collectMail gathers this processor's changed boundary rows into one
+// message per peer processor. A peer holding an up-to-date snapshot gets
+// only the changed (column, value) pairs; first contacts and forced
+// refreshes get a full copy (per-destination copies: receivers own and may
+// mutate full rows during deletion sweeps; delta slices are read-only and
+// shared).
+func (pr *proc) collectMail(e *Engine) ([]*cluster.Mail, int) {
+	mail := make([]*cluster.Mail, e.opts.P)
+	if len(pr.dirtySend) == 0 {
+		return mail, 0
+	}
+	msgs := make([]*boundaryMsg, e.opts.P)
+	rows := 0
+	for _, v := range sortedIDs(pr.dirtySend) {
+		mask := e.peerMask(v)
+		st := pr.state(v)
+		if mask == 0 {
+			// No peers: nobody holds a snapshot, future peers get a
+			// full row anyway.
+			st.sendCols, st.sendFull, st.upToDate = nil, false, 0
+			continue
+		}
+		rows++
+		row := pr.store.Row(v)
+		var cols, vals []int32
+		if !st.sendFull {
+			cols = sortedCols(st.sendCols)
+			vals = make([]int32, len(cols))
+			for i, c := range cols {
+				vals[i] = row[c]
+			}
+		}
+		for dst, m := 0, mask; m != 0; dst++ {
+			if m&(1<<uint(dst)) == 0 {
+				continue
+			}
+			m &^= 1 << uint(dst)
+			if msgs[dst] == nil {
+				msgs[dst] = &boundaryMsg{}
+			}
+			if st.sendFull || st.upToDate&(1<<uint(dst)) == 0 {
+				msgs[dst].add(v, append([]int32(nil), row...), nil, nil)
+			} else {
+				msgs[dst].add(v, nil, cols, vals)
+			}
+		}
+		st.upToDate = mask
+		st.sendCols, st.sendFull = nil, false
+	}
+	clear(pr.dirtySend)
+	for dst, m := range msgs {
+		if m != nil {
+			mail[dst] = &cluster.Mail{Payload: m, Bytes: m.bytes()}
+		}
+	}
+	return mail, rows
+}
+
+// installAndRelax applies the received boundary updates — full rows replace
+// the snapshot, deltas patch it — and relaxes every local row through all
+// changed rows (received snapshots and locally-changed rows). It returns
+// how many local rows changed.
+func (pr *proc) installAndRelax(e *Engine, in []*cluster.Mail) int {
+	for _, m := range in {
+		if m == nil {
+			continue
+		}
+		msg := m.Payload.(*boundaryMsg)
+		for i, v := range msg.ids {
+			if full := msg.full[i]; full != nil {
+				pr.ext[v] = full
+				pr.extPending[v] = &extPending{full: true}
+				continue
+			}
+			snap := pr.ext[v]
+			if snap == nil {
+				// Defensive: a delta without a snapshot (the owner
+				// believed this peer up to date). Missing entries stay
+				// Inf — sound upper bounds, refined by later sends.
+				snap = make([]int32, e.width)
+				for t := range snap {
+					snap[t] = dv.Inf
+				}
+				if int(v) < e.width {
+					snap[v] = 0
+				}
+				pr.ext[v] = snap
+			}
+			cols, vals := msg.cols[i], msg.vals[i]
+			for j, c := range cols {
+				if int(c) < len(snap) {
+					snap[c] = vals[j]
+				}
+			}
+			p := pr.extPending[v]
+			if p == nil {
+				p = &extPending{}
+				pr.extPending[v] = p
+			}
+			p.note(e.width, cols)
+		}
+	}
+	return pr.relax(e)
+}
+
+func sortedIDs(set map[graph.ID]bool) []graph.ID {
+	ids := make([]graph.ID, 0, len(set))
+	for v := range set {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+// TestOptionMatrix runs one dynamic scenario under every combination of the
+// engine's optional modes — wire transport, eager local refresh, eager
+// deletions — and requires the oracle result from each. The modes are
+// orthogonal by design; this pins that down.
+func TestOptionMatrix(t *testing.T) {
+	for _, wire := range []bool{false, true} {
+		for _, refresh := range []bool{false, true} {
+			for _, eagerDel := range []bool{false, true} {
+				name := fmt.Sprintf("wire=%t_refresh=%t_eagerdel=%t", wire, refresh, eagerDel)
+				t.Run(name, func(t *testing.T) {
+					g := gen.BarabasiAlbert(120, 2, 99, gen.Config{MaxWeight: 3})
+					e, err := New(g, Options{
+						P:                 6,
+						Seed:              99,
+						Wire:              wire,
+						EagerLocalRefresh: refresh,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer e.Close()
+					e.Step()
+					batch := &VertexBatch{
+						Count:    3,
+						Internal: []BatchEdge{{A: 0, B: 1, W: 1}, {A: 1, B: 2, W: 2}},
+						External: []AttachEdge{{New: 0, To: 7, W: 1}, {New: 2, To: 90, W: 1}},
+					}
+					if _, err := e.ApplyVertexAdditions(batch, &CutEdgePS{Seed: 99}); err != nil {
+						t.Fatal(err)
+					}
+					if err := e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: 3, V: 110, W: 1}}); err != nil {
+						t.Fatal(err)
+					}
+					del := [][2]graph.ID{{0, 1}}
+					if eagerDel {
+						err = e.ApplyEdgeDeletionsEager(del)
+					} else {
+						err = e.ApplyEdgeDeletions(del)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := e.FailProcessor(2); err != nil {
+						t.Fatal(err)
+					}
+					mustRun(t, e)
+					checkExact(t, e)
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+)
+
+// Path reconstructs one shortest path from u to v from the converged
+// distance vectors by greedy descent: from u, repeatedly step to a
+// neighbour w with w minimising weight(u,w) + d(w,v). The distance vectors
+// carry no predecessor information (the paper's DVs store distances only),
+// but at convergence the descent invariant d(x,v) = min over neighbours of
+// w(x,y) + d(y,v) holds, so the walk reaches v in at most n steps.
+//
+// It returns nil when v is unreachable, and an error when the engine has
+// not converged (partial estimates do not satisfy the descent invariant).
+func (e *Engine) Path(u, v graph.ID) ([]graph.ID, error) {
+	if !e.conv {
+		return nil, fmt.Errorf("core: Path requires a converged engine")
+	}
+	if !e.g.Has(u) || !e.g.Has(v) {
+		return nil, fmt.Errorf("core: Path endpoints must be live vertices")
+	}
+	if e.Distance(u, v) == dv.Inf {
+		return nil, nil
+	}
+	path := []graph.ID{u}
+	cur := u
+	for cur != v {
+		var next graph.ID = -1
+		best := dv.Inf
+		for _, ed := range e.g.Neighbors(cur) {
+			rest := e.Distance(ed.To, v)
+			if rest == dv.Inf {
+				continue
+			}
+			if total := dv.SatAdd(ed.W, rest); total < best || (total == best && (next == -1 || ed.To < next)) {
+				best = total
+				next = ed.To
+			}
+		}
+		if next == -1 || best != e.Distance(cur, v) {
+			return nil, fmt.Errorf("core: descent from %d broke at %d (inconsistent distances)", u, cur)
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > e.g.NumVertices() {
+			return nil, fmt.Errorf("core: descent from %d to %d did not terminate", u, v)
+		}
+	}
+	return path, nil
+}
+
+// PathLength sums a path's edge weights, validating every hop exists.
+func (e *Engine) PathLength(path []graph.ID) (int32, error) {
+	var total int32
+	for i := 1; i < len(path); i++ {
+		w, ok := e.g.Weight(path[i-1], path[i])
+		if !ok {
+			return 0, fmt.Errorf("core: path hop {%d,%d} is not an edge", path[i-1], path[i])
+		}
+		total = dv.SatAdd(total, w)
+	}
+	return total, nil
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestRegressionSeeds pins the property-test seeds that have failed during
+// development so regressions reproduce instantly and verbosely.
+func TestRegressionSeeds(t *testing.T) {
+	for _, seed := range []int64{-8107624553222931745, -2054012143175348875} {
+		if !dynamicEqualsStatic(t, seed) {
+			t.Fatalf("seed %d diverged from oracle", seed)
+		}
+	}
+}

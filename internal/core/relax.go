@@ -1,0 +1,496 @@
+package core
+
+import (
+	"sort"
+
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+)
+
+// This file is the engine's incremental data path. The recombination update
+// is distance-vector routing over boundary sets:
+//
+//	d(x, t) = min(d(x, t), d(x, s) + D_s(t))
+//
+// applied for every local row x through every *changed* source row s —
+// received external-boundary snapshots and changed local rows. Two
+// refinements make steady-state steps cost proportional to actual change
+// volume rather than Θ(rows × n):
+//
+//  1. Delta propagation. A source that changed in k columns is scanned over
+//     those k columns only, and the exchange ships only the changed
+//     (column, value) pairs — the paper's "it is sufficient to send only
+//     the updated values of the boundary DVs". A row's first visit to a
+//     peer (or any post-deletion refresh) ships the full row.
+//
+//  2. The DVR rescan rule. Delta scans alone are not exact: if d(x, s)
+//     decreases *after* s last changed, the improved paths through s would
+//     never be applied. Whenever a column of x that names a held source
+//     decreases, x re-scans that source's full row. The fixpoint then
+//     satisfies the same closure as full scanning, so converged distances
+//     stay exact (property-tested against the sequential oracle).
+
+// rowState tracks a local row's outgoing-change bookkeeping.
+type rowState struct {
+	// sendCols are columns changed since the row was last sent.
+	sendCols map[int32]struct{}
+	// sendFull forces a full-row send (initial state, deletions).
+	sendFull bool
+	// srcCols are columns changed since the row was last used as a
+	// relaxation source for the other local rows.
+	srcCols map[int32]struct{}
+	// srcFull forces a full-row source scan.
+	srcFull bool
+	// upToDate is the set of peers whose snapshot has received every
+	// send so far; only they may receive deltas.
+	upToDate uint64
+}
+
+// colCap is the sparse/full threshold: once more than width/colCap columns
+// changed, tracking and shipping the full row is cheaper (a delta entry is
+// a column-value pair, twice the bytes of a dense entry).
+const colCap = 2
+
+func (st *rowState) noteCols(width int, cols []int32) {
+	st.noteColsInto(&st.sendCols, &st.sendFull, width, cols)
+	st.noteColsInto(&st.srcCols, &st.srcFull, width, cols)
+}
+
+func (st *rowState) noteColsInto(set *map[int32]struct{}, full *bool, width int, cols []int32) {
+	if *full {
+		return
+	}
+	if *set == nil {
+		*set = make(map[int32]struct{}, len(cols))
+	}
+	for _, c := range cols {
+		(*set)[c] = struct{}{}
+	}
+	if len(*set) > width/colCap {
+		*full = true
+		*set = nil
+	}
+}
+
+func (st *rowState) noteFull() {
+	st.sendFull = true
+	st.srcFull = true
+	st.sendCols = nil
+	st.srcCols = nil
+	// Peers may have dropped or hole-punched their snapshots by the time
+	// a row is invalidated wholesale; force full sends to everyone.
+	st.upToDate = 0
+}
+
+// state returns (allocating if needed) the rowState of local row v.
+func (pr *proc) state(v graph.ID) *rowState {
+	st := pr.meta[v]
+	if st == nil {
+		st = &rowState{}
+		pr.meta[v] = st
+	}
+	return st
+}
+
+// noteRowChanged records that cols of local row x decreased. queueRescans
+// is set by mutation paths outside relax (edge sweeps, reseeds): decreased
+// columns naming held sources must trigger a full rescan at the next relax.
+// The relax path passes false because its cascade already rescanned.
+func (pr *proc) noteRowChanged(e *Engine, x graph.ID, cols []int32, queueRescans bool) {
+	if len(cols) == 0 {
+		return
+	}
+	pr.dirtySend[x] = true
+	pr.dirtySrc[x] = true
+	pr.state(x).noteCols(e.width, cols)
+	if !queueRescans {
+		return
+	}
+	for _, c := range cols {
+		if graph.ID(c) == x {
+			continue
+		}
+		if pr.holdsSource(graph.ID(c)) {
+			set := pr.pendingRescan[x]
+			if set == nil {
+				set = make(map[graph.ID]struct{})
+				pr.pendingRescan[x] = set
+			}
+			set[graph.ID(c)] = struct{}{}
+		}
+	}
+}
+
+// noteRowFull marks a row as changed wholesale (IA, deletions, migration).
+func (pr *proc) noteRowFull(x graph.ID) {
+	pr.dirtySend[x] = true
+	pr.dirtySrc[x] = true
+	pr.state(x).noteFull()
+}
+
+// holdsSource reports whether v's row is readable on this processor (a
+// local row or a held external snapshot) and therefore usable as a
+// relaxation source.
+func (pr *proc) holdsSource(v graph.ID) bool {
+	if int(v) < len(pr.isLocal) && pr.isLocal[v] {
+		return true
+	}
+	_, ok := pr.ext[v]
+	return ok
+}
+
+func (pr *proc) sourceRow(v graph.ID) []int32 {
+	if int(v) < len(pr.isLocal) && pr.isLocal[v] {
+		return pr.store.Row(v)
+	}
+	return pr.ext[v]
+}
+
+// relaxSource is one changed row to relax through; nil cols = full scan.
+type relaxSource struct {
+	id   graph.ID
+	row  []int32
+	cols []int32
+}
+
+// relax performs the recombination update on one processor and returns the
+// number of local rows that changed.
+func (pr *proc) relax(e *Engine) int {
+	sources := pr.gatherSources()
+	if len(sources) == 0 && len(pr.pendingRescan) == 0 {
+		return 0
+	}
+	changed := 0
+	for _, x := range pr.local {
+		cols := pr.relaxRowSources(x, sources)
+		if len(cols) > 0 {
+			changed++
+			pr.noteRowChanged(e, x, cols, false)
+		}
+	}
+	clear(pr.pendingRescan)
+	return changed
+}
+
+// gatherSources drains the pending external deltas and dirty local rows
+// into a deterministic source list.
+func (pr *proc) gatherSources() []relaxSource {
+	n := len(pr.extPending) + len(pr.dirtySrc)
+	if n == 0 {
+		return nil
+	}
+	sources := make([]relaxSource, 0, n)
+	for _, id := range sortedPendingIDs(pr.extPending) {
+		p := pr.extPending[id]
+		src := relaxSource{id: id, row: pr.ext[id]}
+		if !p.full {
+			src.cols = p.cols
+		}
+		sources = append(sources, src)
+	}
+	for _, id := range sortedIDs(pr.dirtySrc) {
+		st := pr.state(id)
+		src := relaxSource{id: id, row: pr.store.Row(id)}
+		if !st.srcFull {
+			src.cols = sortedCols(st.srcCols)
+		}
+		st.srcCols = nil
+		st.srcFull = false
+		sources = append(sources, src)
+	}
+	clear(pr.extPending)
+	clear(pr.dirtySrc)
+	return sources
+}
+
+// relaxRowSources relaxes one local row through the given sources, then
+// cascades the DVR rescan rule until stable: any column of x naming a held
+// source that decreased (now, or queued by an earlier mutation) triggers a
+// full scan through that source. Returns the deduplicated changed columns.
+func (pr *proc) relaxRowSources(x graph.ID, sources []relaxSource) []int32 {
+	row := pr.store.Row(x)
+	var changed []int32
+	for _, s := range sources {
+		if s.id == x {
+			continue
+		}
+		d := row[s.id]
+		if d >= dv.Inf {
+			continue
+		}
+		if s.cols == nil {
+			changed = scanFull(row, d, s.row, changed)
+		} else {
+			changed = scanCols(row, d, s.row, s.cols, changed)
+		}
+	}
+	// Rescan cascade. lastScan records d(x,s) at the time source s was
+	// last fully scanned for this row; a further decrease requires
+	// another scan (improvements through s now compose with the shorter
+	// d(x,s)). The queue is seeded from earlier mutations' pending
+	// rescans plus this scan's decreased held-source columns, and each
+	// round only the *newly* decreased columns seed the next, so the
+	// cascade terminates with the row closed under every held source.
+	var pending []graph.ID
+	if set := pr.pendingRescan[x]; len(set) > 0 {
+		pending = make([]graph.ID, 0, len(set))
+		for s := range set {
+			pending = append(pending, s)
+		}
+		sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	}
+	for _, c := range changed {
+		if graph.ID(c) != x && pr.holdsSource(graph.ID(c)) {
+			pending = append(pending, graph.ID(c))
+		}
+	}
+	var lastScan map[graph.ID]int32
+	for len(pending) > 0 {
+		if lastScan == nil {
+			lastScan = make(map[graph.ID]int32, len(pending))
+		}
+		round := pending
+		pending = nil
+		prevLen := len(changed)
+		for _, s := range round {
+			d := row[s]
+			if d >= dv.Inf {
+				continue
+			}
+			if last, ok := lastScan[s]; ok && d >= last {
+				continue // no decrease since the last full scan
+			}
+			srow := pr.sourceRow(s)
+			if srow == nil {
+				continue
+			}
+			lastScan[s] = d
+			changed = scanFull(row, d, srow, changed)
+		}
+		for _, c := range changed[prevLen:] {
+			if graph.ID(c) != x && pr.holdsSource(graph.ID(c)) {
+				pending = append(pending, graph.ID(c))
+			}
+		}
+	}
+	return dedupCols(changed)
+}
+
+// scanFull relaxes row through every column of srow with base distance d,
+// appending changed columns. The hot loop of the whole engine.
+func scanFull(row []int32, d int32, srow []int32, changed []int32) []int32 {
+	limit := dv.Inf - d // guards overflow and Inf entries with one compare
+	n := len(srow)
+	if n > len(row) {
+		n = len(row)
+	}
+	for t := 0; t < n; t++ {
+		st := srow[t]
+		if st < limit {
+			if nd := d + st; nd < row[t] {
+				row[t] = nd
+				changed = append(changed, int32(t))
+			}
+		}
+	}
+	return changed
+}
+
+// scanCols relaxes row through the given columns of srow only.
+func scanCols(row []int32, d int32, srow []int32, cols []int32, changed []int32) []int32 {
+	limit := dv.Inf - d
+	for _, t := range cols {
+		if int(t) >= len(srow) || int(t) >= len(row) {
+			continue
+		}
+		st := srow[t]
+		if st < limit {
+			if nd := d + st; nd < row[t] {
+				row[t] = nd
+				changed = append(changed, t)
+			}
+		}
+	}
+	return changed
+}
+
+// eagerLocalRefresh implements the paper's optional "update local DVs"
+// recombination strategy: every local row is relaxed through every other
+// local row regardless of dirtiness — the distance-vector equivalent of the
+// local Floyd–Warshall refresh, providing "more up-to-date partial results
+// to the user without having to depend on future recombination steps".
+// Returns the number of rows it changed.
+func (pr *proc) eagerLocalRefresh(e *Engine) int {
+	sources := make([]relaxSource, 0, len(pr.local))
+	for _, s := range pr.local {
+		sources = append(sources, relaxSource{id: s, row: pr.store.Row(s)})
+	}
+	changed := 0
+	for _, x := range pr.local {
+		if cols := pr.relaxRowSources(x, sources); len(cols) > 0 {
+			changed++
+			pr.noteRowChanged(e, x, cols, false)
+		}
+	}
+	return changed
+}
+
+// relaxThroughEdges relaxes every local row through a batch of new edges,
+// the kernel of the paper's edge-addition algorithm (Fig. 3 lines 26–34):
+//
+//	d(x, t) = min(d(x, t), d(x, u) + w + D_v(t), d(x, v) + w + D_u(t))
+//
+// endRows maps each edge endpoint to the broadcast snapshot of its DV row.
+// Changed rows are queued for propagation (with rescans: a decreased column
+// naming a held source must be rescanned at the next RC step). Returns the
+// number of changed local rows.
+func (pr *proc) relaxThroughEdges(e *Engine, edges []graph.EdgeTriple, endRows map[graph.ID][]int32) int {
+	changedRows := 0
+	for _, x := range pr.local {
+		row := pr.store.Row(x)
+		var changed []int32
+		for _, ed := range edges {
+			changed = relaxRowThroughEdge(row, ed.U, ed.W, endRows[ed.V], changed)
+			changed = relaxRowThroughEdge(row, ed.V, ed.W, endRows[ed.U], changed)
+		}
+		if len(changed) > 0 {
+			changedRows++
+			pr.noteRowChanged(e, x, dedupCols(changed), true)
+		}
+	}
+	return changedRows
+}
+
+// relaxRowThroughEdge applies d(x,t) = min(d(x,t), d(x,u) + w + D_v(t)),
+// appending changed columns.
+func relaxRowThroughEdge(row []int32, u graph.ID, w int32, vRow []int32, changed []int32) []int32 {
+	if vRow == nil {
+		return changed
+	}
+	du := row[u]
+	if du >= dv.Inf {
+		return changed
+	}
+	base := dv.SatAdd(du, w)
+	if base >= dv.Inf {
+		return changed
+	}
+	return scanFull(row, base, vRow, changed)
+}
+
+// invalidateThroughEdge applies the deletion invalidation sweep for one
+// deleted edge {u,v} of weight w to one row: any entry whose pristine value
+// could be supported by a path through the edge — pristine[t] >=
+// pristine[u] + w + D_v(t) or the symmetric bound — is reset to Inf in row.
+//
+// Tests read only the *pristine* pre-sweep copy: the test for one edge must
+// not observe the invalidations of another edge in the same batch, or
+// prefix-witness columns disappear and supported entries slip through.
+// Soundness requires exact (converged) distances — ApplyEdgeDeletions
+// converges first — where an entry whose shortest path uses the edge always
+// satisfies one of the two bounds with equality. Over-invalidated entries
+// are re-derived by the reseed pass and the following RC steps.
+//
+// It returns the number of newly invalidated entries.
+func invalidateThroughEdge(pristine, row []int32, self graph.ID, u, v graph.ID, w int32, uRow, vRow []int32) int {
+	du := int64(dv.Inf)
+	if int(u) < len(pristine) {
+		du = int64(pristine[u])
+	}
+	dvv := int64(dv.Inf)
+	if int(v) < len(pristine) {
+		dvv = int64(pristine[v])
+	}
+	if du >= int64(dv.Inf) && dvv >= int64(dv.Inf) {
+		return 0
+	}
+	n := len(pristine)
+	count := 0
+	for t := 0; t < n; t++ {
+		cur := pristine[t]
+		if cur == dv.Inf || graph.ID(t) == self {
+			continue
+		}
+		bound := int64(dv.Inf)
+		if du < int64(dv.Inf) && t < len(vRow) && vRow[t] < dv.Inf {
+			bound = du + int64(w) + int64(vRow[t])
+		}
+		if dvv < int64(dv.Inf) && t < len(uRow) && uRow[t] < dv.Inf {
+			if b := dvv + int64(w) + int64(uRow[t]); b < bound {
+				bound = b
+			}
+		}
+		if int64(cur) >= bound && row[t] != dv.Inf {
+			row[t] = dv.Inf
+			count++
+		}
+	}
+	return count
+}
+
+// mergeMin folds src into dst entrywise (dst = min(dst, src)), returning the
+// changed columns. Used to reuse partial results when re-running local
+// Dijkstra after deletions or repartitioning.
+func mergeMin(dst, src []int32) []int32 {
+	var changed []int32
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for t := 0; t < n; t++ {
+		if src[t] < dst[t] {
+			dst[t] = src[t]
+			changed = append(changed, int32(t))
+		}
+	}
+	return changed
+}
+
+// dedupCols sorts and deduplicates a changed-column list in place.
+func dedupCols(cols []int32) []int32 {
+	if len(cols) < 2 {
+		return cols
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	out := cols[:1]
+	for _, c := range cols[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// sortedCols flattens a column set deterministically.
+func sortedCols(set map[int32]struct{}) []int32 {
+	out := make([]int32, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedPendingIDs(m map[graph.ID]*extPending) []graph.ID {
+	ids := make([]graph.ID, 0, len(m))
+	for v := range m {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedEdgeList returns edges sorted for deterministic sweeps.
+func sortedEdgeList(edges []graph.EdgeTriple) []graph.EdgeTriple {
+	out := append([]graph.EdgeTriple(nil), edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		if out[i].V != out[j].V {
+			return out[i].V < out[j].V
+		}
+		return out[i].W < out[j].W
+	})
+	return out
+}

@@ -1,0 +1,167 @@
+// Package dv implements the distance-vector (DV) store each simulated
+// processor maintains: one row of current shortest-path upper bounds per
+// local vertex, spanning the whole (growable) global identifier space.
+//
+// The paper's vertex-addition strategy grows every DV by one column per new
+// vertex; rows here grow by amortised doubling, matching the O(x·n) resize
+// cost the paper charges for x additions ("assuming that the size of the
+// vector is doubled every time the resize takes place").
+package dv
+
+import "math"
+
+// Inf is the distance upper bound meaning "no path known yet".
+const Inf int32 = math.MaxInt32
+
+// SatAdd adds two distances, saturating at Inf. Either operand may be Inf.
+func SatAdd(a, b int32) int32 {
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	s := int64(a) + int64(b)
+	if s >= int64(Inf) {
+		return Inf
+	}
+	return int32(s)
+}
+
+// Store holds the distance vectors of one processor's local vertices.
+// Rows are keyed by global vertex ID; every row has the same logical width
+// (the global identifier-space size).
+type Store struct {
+	rows  map[int32][]int32
+	width int
+}
+
+// NewStore returns an empty store whose rows span width global IDs.
+func NewStore(width int) *Store {
+	return &Store{rows: make(map[int32][]int32), width: width}
+}
+
+// Width returns the current logical row width (global ID-space size).
+func (s *Store) Width() int { return s.width }
+
+// Len returns the number of rows (local vertices) in the store.
+func (s *Store) Len() int { return len(s.rows) }
+
+// AddRow creates a row for global vertex v, initialised to Inf except
+// dist(v,v)=0. It panics if the row exists — processors own disjoint rows.
+func (s *Store) AddRow(v int32) {
+	if _, ok := s.rows[v]; ok {
+		panic("dv: AddRow of existing row")
+	}
+	row := make([]int32, s.width)
+	for i := range row {
+		row[i] = Inf
+	}
+	if int(v) < s.width {
+		row[v] = 0
+	}
+	s.rows[v] = row
+}
+
+// AdoptRow installs an existing distance row for v (used when Repartition-S
+// migrates a vertex together with its partial results).
+func (s *Store) AdoptRow(v int32, row []int32) {
+	if len(row) != s.width {
+		grown := make([]int32, s.width)
+		n := copy(grown, row)
+		for i := n; i < s.width; i++ {
+			grown[i] = Inf
+		}
+		row = grown
+	}
+	s.rows[v] = row
+}
+
+// RemoveRow deletes and returns the row of v (nil if absent).
+func (s *Store) RemoveRow(v int32) []int32 {
+	row := s.rows[v]
+	delete(s.rows, v)
+	return row
+}
+
+// Row returns the row of v, or nil if v is not local. The slice is owned by
+// the store; callers may mutate entries (that is the relaxation fast path)
+// but must not resize it.
+func (s *Store) Row(v int32) []int32 { return s.rows[v] }
+
+// Rows returns the set of local vertex IDs owning rows, in arbitrary order.
+func (s *Store) Rows() []int32 {
+	out := make([]int32, 0, len(s.rows))
+	for v := range s.rows {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Get returns dist(u, v) where u must be local; Inf if unknown.
+func (s *Store) Get(u, v int32) int32 {
+	row := s.rows[u]
+	if row == nil || int(v) >= len(row) {
+		return Inf
+	}
+	return row[v]
+}
+
+// Relax lowers dist(u,v) to d if d is smaller, reporting whether it changed.
+func (s *Store) Relax(u, v int32, d int32) bool {
+	row := s.rows[u]
+	if row == nil {
+		return false
+	}
+	if d < row[v] {
+		row[v] = d
+		return true
+	}
+	return false
+}
+
+// Grow widens every row to cover newWidth global IDs, filling new columns
+// with Inf. Capacity doubles so x consecutive single-vertex additions cost
+// O(x·n) amortised, as in the paper's analysis. No-op if already wide enough.
+func (s *Store) Grow(newWidth int) {
+	if newWidth <= s.width {
+		return
+	}
+	for v, row := range s.rows {
+		if cap(row) >= newWidth {
+			old := len(row)
+			row = row[:newWidth]
+			for i := old; i < newWidth; i++ {
+				row[i] = Inf
+			}
+		} else {
+			c := cap(row) * 2
+			if c < newWidth {
+				c = newWidth
+			}
+			grown := make([]int32, newWidth, c)
+			copy(grown, row)
+			for i := len(row); i < newWidth; i++ {
+				grown[i] = Inf
+			}
+			row = grown
+		}
+		s.rows[v] = row
+	}
+	s.width = newWidth
+}
+
+// ClearColumn sets dist(*, v) to Inf in every row (vertex deletion support).
+func (s *Store) ClearColumn(v int32) {
+	for _, row := range s.rows {
+		if int(v) < len(row) {
+			row[v] = Inf
+		}
+	}
+}
+
+// CloneRow returns a copy of v's row (nil if absent).
+func (s *Store) CloneRow(v int32) []int32 {
+	row := s.rows[v]
+	if row == nil {
+		return nil
+	}
+	return append([]int32(nil), row...)
+}

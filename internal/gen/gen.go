@@ -1,0 +1,304 @@
+// Package gen provides deterministic random-graph generators for the
+// experiment harness. The paper's evaluation used undirected scale-free
+// graphs produced by the Pajek tool; the Barabási–Albert generator here is
+// the standard scale-free substitute. All generators take an explicit seed
+// so every experiment is reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aacc/internal/graph"
+)
+
+// Config controls edge weights for all generators. Zero value = unit weights.
+type Config struct {
+	// MaxWeight, when > 1, draws integer edge weights uniformly from
+	// [1, MaxWeight]. When 0 or 1, all edges have weight 1.
+	MaxWeight int32
+}
+
+func (c Config) weight(rng *rand.Rand) int32 {
+	if c.MaxWeight <= 1 {
+		return 1
+	}
+	return 1 + rng.Int31n(c.MaxWeight)
+}
+
+// BarabasiAlbert generates a connected scale-free graph with n vertices in
+// which each vertex beyond the seed clique attaches to m distinct existing
+// vertices with probability proportional to their degree (preferential
+// attachment via the repeated-endpoint list).
+func BarabasiAlbert(n, m int, seed int64, cfg Config) *graph.Graph {
+	if m < 1 {
+		panic("gen: BarabasiAlbert needs m >= 1")
+	}
+	if n < m+1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert needs n >= m+1 (n=%d, m=%d)", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	// Seed: a path over the first m+1 vertices keeps the seed connected
+	// without the degree skew of a clique.
+	targets := make([]graph.ID, 0, 2*n*m)
+	for v := 1; v <= m; v++ {
+		g.AddEdge(graph.ID(v-1), graph.ID(v), cfg.weight(rng))
+		targets = append(targets, graph.ID(v-1), graph.ID(v))
+	}
+	chosen := make(map[graph.ID]bool, m)
+	picks := make([]graph.ID, 0, m)
+	for v := m + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		picks = picks[:0]
+		for len(picks) < m {
+			t := targets[rng.Intn(len(targets))]
+			if !chosen[t] {
+				chosen[t] = true
+				picks = append(picks, t) // insertion order: deterministic
+			}
+		}
+		for _, t := range picks {
+			g.AddEdge(graph.ID(v), t, cfg.weight(rng))
+			targets = append(targets, graph.ID(v), t)
+		}
+	}
+	return g
+}
+
+// ErdosRenyiM generates a G(n, m) random graph with exactly m distinct edges,
+// then adds a random spanning structure over any disconnected components so
+// the result is connected (closeness centrality needs finite distances).
+func ErdosRenyiM(n, m int, seed int64, cfg Config) *graph.Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyiM m=%d exceeds max %d", m, maxEdges))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.NumEdges() < m {
+		u := graph.ID(rng.Intn(n))
+		v := graph.ID(rng.Intn(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, cfg.weight(rng))
+		}
+	}
+	Connect(g, rng, cfg)
+	return g
+}
+
+// WattsStrogatz generates a small-world ring lattice with n vertices, k
+// neighbours per side (degree 2k) and rewiring probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64, cfg Config) *graph.Graph {
+	if k < 1 || 2*k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz needs 1 <= k < n/2 (n=%d, k=%d)", n, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := graph.ID(v)
+			w := graph.ID((v + j) % n)
+			if rng.Float64() < beta {
+				for tries := 0; tries < 32; tries++ {
+					cand := graph.ID(rng.Intn(n))
+					if cand != u && !g.HasEdge(u, cand) {
+						w = cand
+						break
+					}
+				}
+			}
+			if !g.HasEdge(u, w) && u != w {
+				g.AddEdge(u, w, cfg.weight(rng))
+			}
+		}
+	}
+	Connect(g, rng, cfg)
+	return g
+}
+
+// PlantedPartition generates a stochastic block model with k equal
+// communities: each intra-community pair is an edge with probability pIn and
+// each inter-community pair with probability pOut. The result is connected.
+func PlantedPartition(n, k int, pIn, pOut float64, seed int64, cfg Config) *graph.Graph {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("gen: PlantedPartition needs 1 <= k <= n (n=%d, k=%d)", n, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	community := func(v int) int { return v * k / n }
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if community(u) == community(v) {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				g.AddEdge(graph.ID(u), graph.ID(v), cfg.weight(rng))
+			}
+		}
+	}
+	Connect(g, rng, cfg)
+	return g
+}
+
+// CommunityScaleFree generates k scale-free communities of roughly equal
+// size, wired internally by preferential attachment (m edges per vertex) and
+// externally by interEdges random cross-community edges. It models the
+// community-structured vertex batches the paper extracted with Louvain.
+// It returns the graph and the community label of every vertex.
+func CommunityScaleFree(n, k, m, interEdges int, seed int64, cfg Config) (*graph.Graph, []int) {
+	if k < 1 {
+		panic("gen: CommunityScaleFree needs k >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	labels := make([]int, n)
+	bounds := make([]int, k+1)
+	for c := 0; c <= k; c++ {
+		bounds[c] = c * n / k
+	}
+	for c := 0; c < k; c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		size := hi - lo
+		mm := m
+		if size <= mm {
+			mm = size - 1
+		}
+		if mm < 1 {
+			if size == 1 {
+				labels[lo] = c
+				continue
+			}
+			mm = 1
+		}
+		sub := BarabasiAlbert(size, mm, rng.Int63(), cfg)
+		for _, e := range sub.Edges() {
+			g.AddEdge(graph.ID(lo)+e.U, graph.ID(lo)+e.V, e.W)
+		}
+		for v := lo; v < hi; v++ {
+			labels[v] = c
+		}
+	}
+	for i := 0; i < interEdges; i++ {
+		for tries := 0; tries < 64; tries++ {
+			u := graph.ID(rng.Intn(n))
+			v := graph.ID(rng.Intn(n))
+			if u != v && labels[u] != labels[v] && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, cfg.weight(rng))
+				break
+			}
+		}
+	}
+	Connect(g, rng, cfg)
+	return g, labels
+}
+
+// RMAT generates a Graph500-style recursive-matrix graph with 2^scale
+// vertices and edgeFactor·2^scale edges, using the standard Kronecker
+// quadrant probabilities (a,b,c,d) = (0.57, 0.19, 0.19, 0.05). Self-loops
+// and duplicates are dropped and re-drawn; the result is connected. R-MAT
+// graphs have heavier degree skew than Barabási–Albert and are the common
+// adversarial input in the parallel-graph-processing literature.
+func RMAT(scale, edgeFactor int, seed int64, cfg Config) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("gen: RMAT scale %d out of [1,30]", scale))
+	}
+	if edgeFactor < 1 {
+		panic("gen: RMAT needs edgeFactor >= 1")
+	}
+	const a, b, c = 0.57, 0.19, 0.19 // d = 1 - a - b - c
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << uint(scale)
+	g := graph.New(n)
+	m := edgeFactor * n
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for g.NumEdges() < m {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				v |= bit
+			case r < a+b+c:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u != v && !g.HasEdge(graph.ID(u), graph.ID(v)) {
+			g.AddEdge(graph.ID(u), graph.ID(v), cfg.weight(rng))
+		}
+	}
+	Connect(g, rng, cfg)
+	return g
+}
+
+// Grid generates a rows x cols 4-neighbour lattice (a worst case for
+// scale-free assumptions, used in tests).
+func Grid(rows, cols int, cfg Config) *graph.Graph {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.ID { return graph.ID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), cfg.weight(rng))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), cfg.weight(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Complete generates the complete graph K_n with unit weights.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(graph.ID(u), graph.ID(v), 1)
+		}
+	}
+	return g
+}
+
+// Star generates a star with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, graph.ID(v), 1)
+	}
+	return g
+}
+
+// Path generates the path 0-1-...-n-1 with unit weights.
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(graph.ID(v-1), graph.ID(v), 1)
+	}
+	return g
+}
+
+// Connect adds one random edge between consecutive connected components
+// until the graph is connected. It is exported for workload generators that
+// mutate graphs and must restore connectivity.
+func Connect(g *graph.Graph, rng *rand.Rand, cfg Config) {
+	comps := g.ConnectedComponents()
+	for len(comps) > 1 {
+		a := comps[0][rng.Intn(len(comps[0]))]
+		b := comps[1][rng.Intn(len(comps[1]))]
+		g.AddEdge(a, b, cfg.weight(rng))
+		comps = g.ConnectedComponents()
+	}
+}

@@ -1,0 +1,237 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/graph"
+)
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	g := BarabasiAlbert(500, 2, 1, Config{})
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each non-seed vertex contributes m distinct edges.
+	if g.NumEdges() < 2*(500-3)/2 {
+		t.Fatalf("too few edges: %d", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(200, 3, 42, Config{MaxWeight: 5})
+	b := BarabasiAlbert(200, 3, 42, Config{MaxWeight: 5})
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	c := BarabasiAlbert(200, 3, 43, Config{MaxWeight: 5})
+	if len(c.Edges()) == len(ea) {
+		same := true
+		for i, e := range c.Edges() {
+			if e != ea[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestBarabasiAlbertScaleFreeSkew(t *testing.T) {
+	g := BarabasiAlbert(2000, 2, 7, Config{})
+	maxDeg := 0
+	for _, v := range g.Vertices() {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("no hub: max degree %d vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestBarabasiAlbertPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BarabasiAlbert(2, 2, 1, Config{})
+}
+
+func TestErdosRenyiM(t *testing.T) {
+	g := ErdosRenyiM(100, 300, 2, Config{MaxWeight: 3})
+	if g.NumEdges() < 300 {
+		t.Fatalf("edges %d < requested 300", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("ER graph left disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(120, 3, 0.1, 3, Config{})
+	if !g.IsConnected() {
+		t.Fatal("WS graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedPartitionCommunities(t *testing.T) {
+	g := PlantedPartition(120, 4, 0.3, 0.01, 4, Config{})
+	if !g.IsConnected() {
+		t.Fatal("SBM graph disconnected")
+	}
+	// Count intra vs inter edges: intra should dominate heavily.
+	intra, inter := 0, 0
+	comm := func(v graph.ID) int { return int(v) * 4 / 120 }
+	for _, e := range g.Edges() {
+		if comm(e.U) == comm(e.V) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 3*inter {
+		t.Fatalf("weak communities: intra %d inter %d", intra, inter)
+	}
+}
+
+func TestCommunityScaleFree(t *testing.T) {
+	g, labels := CommunityScaleFree(200, 5, 2, 20, 5, Config{})
+	if !g.IsConnected() {
+		t.Fatal("disconnected")
+	}
+	if len(labels) != 200 {
+		t.Fatalf("labels %d", len(labels))
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("got %d communities", len(counts))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATBasics(t *testing.T) {
+	g := RMAT(9, 8, 3, Config{})
+	if g.NumIDs() != 512 {
+		t.Fatalf("n = %d", g.NumIDs())
+	}
+	if g.NumEdges() < 8*512 {
+		t.Fatalf("edges %d below edge factor", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("RMAT graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Kronecker skew: the max degree should dwarf the average.
+	maxDeg := 0
+	for _, v := range g.Vertices() {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("no skew: max %d vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(7, 4, 5, Config{MaxWeight: 3})
+	b := RMAT(7, 4, 5, Config{MaxWeight: 3})
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestRMATPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMAT(0, 4, 1, Config{})
+}
+
+func TestFixedTopologies(t *testing.T) {
+	if g := Grid(3, 4, Config{}); g.NumVertices() != 12 || g.NumEdges() != 3*3+2*4 {
+		t.Fatalf("grid: %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g := Complete(6); g.NumEdges() != 15 {
+		t.Fatalf("K6 edges %d", g.NumEdges())
+	}
+	if g := Star(7); g.NumEdges() != 6 || g.Degree(0) != 6 {
+		t.Fatalf("star wrong")
+	}
+	if g := Path(5); g.NumEdges() != 4 {
+		t.Fatalf("path wrong")
+	}
+}
+
+func TestConnectHelper(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	Connect(g, rand.New(rand.NewSource(1)), Config{})
+	if !g.IsConnected() {
+		t.Fatal("Connect failed")
+	}
+}
+
+// Property: all generators produce valid, connected graphs with the
+// requested vertex count for arbitrary seeds.
+func TestPropertyGeneratorsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(150)
+		gs := []*graph.Graph{
+			BarabasiAlbert(n, 1+rng.Intn(3), seed, Config{MaxWeight: int32(rng.Intn(8))}),
+			ErdosRenyiM(n, n, seed, Config{}),
+			WattsStrogatz(n, 2, 0.2, seed, Config{}),
+		}
+		for _, g := range gs {
+			if g.NumVertices() != n || !g.IsConnected() || g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}

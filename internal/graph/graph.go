@@ -1,0 +1,377 @@
+// Package graph provides a mutable, weighted, undirected graph used as the
+// substrate for all anytime-anywhere closeness centrality computations.
+//
+// Vertices are dense int32 identifiers 0..N-1. Dynamic vertex additions
+// append new identifiers; vertex deletions tombstone an identifier without
+// renumbering, so identifiers remain stable across a dynamic analysis (the
+// distance-vector store in internal/dv relies on this).
+//
+// All edges are undirected and carry a positive int32 weight. Parallel edges
+// are not stored: adding an edge that already exists updates its weight.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a vertex identifier. Identifiers are dense and stable: they are
+// assigned consecutively by AddVertex and never reused after RemoveVertex.
+type ID = int32
+
+// Edge is one directed half of an undirected edge.
+type Edge struct {
+	To ID
+	W  int32
+}
+
+// EdgeTriple names a full undirected edge, used in change sets and I/O.
+type EdgeTriple struct {
+	U, V ID
+	W    int32
+}
+
+// Graph is a mutable weighted undirected graph.
+//
+// The zero value is an empty graph ready for use, but New or NewWithCapacity
+// should be preferred so adjacency storage is sized up front.
+type Graph struct {
+	adj     [][]Edge
+	removed []bool
+	m       int // number of live undirected edges
+	dead    int // number of tombstoned vertices
+}
+
+// New returns an empty graph with n live vertices (0..n-1) and no edges.
+func New(n int) *Graph {
+	g := &Graph{
+		adj:     make([][]Edge, n),
+		removed: make([]bool, n),
+	}
+	return g
+}
+
+// NewWithCapacity returns an empty graph with n live vertices whose vertex
+// storage has room for cap vertices before reallocating. It is used by
+// dynamic workloads that know how many additions are coming.
+func NewWithCapacity(n, capacity int) *Graph {
+	if capacity < n {
+		capacity = n
+	}
+	return &Graph{
+		adj:     make([][]Edge, n, capacity),
+		removed: make([]bool, n, capacity),
+	}
+}
+
+// NumIDs returns the size of the identifier space, including tombstoned
+// vertices. Valid identifiers are 0..NumIDs()-1.
+func (g *Graph) NumIDs() int { return len(g.adj) }
+
+// NumVertices returns the number of live (non-removed) vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) - g.dead }
+
+// NumEdges returns the number of live undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Has reports whether v is a live vertex.
+func (g *Graph) Has(v ID) bool {
+	return v >= 0 && int(v) < len(g.adj) && !g.removed[v]
+}
+
+// AddVertex appends a new live vertex and returns its identifier.
+func (g *Graph) AddVertex() ID {
+	id := ID(len(g.adj))
+	g.adj = append(g.adj, nil)
+	g.removed = append(g.removed, false)
+	return id
+}
+
+// AddVertices appends k new live vertices and returns the first identifier.
+func (g *Graph) AddVertices(k int) ID {
+	first := ID(len(g.adj))
+	for i := 0; i < k; i++ {
+		g.adj = append(g.adj, nil)
+		g.removed = append(g.removed, false)
+	}
+	return first
+}
+
+// RemoveVertex tombstones v and removes all its incident edges. The
+// identifier is never reused. It panics if v is not live.
+func (g *Graph) RemoveVertex(v ID) {
+	g.mustHave(v)
+	for _, e := range g.adj[v] {
+		g.dropHalf(e.To, v)
+		g.m--
+	}
+	g.adj[v] = nil
+	g.removed[v] = true
+	g.dead++
+}
+
+// AddEdge inserts the undirected edge {u,v} with weight w, or updates the
+// weight if the edge exists. Self-loops are rejected. It panics on dead or
+// out-of-range endpoints or non-positive weights, which always indicate a
+// caller bug in this codebase.
+func (g *Graph) AddEdge(u, v ID, w int32) {
+	g.mustHave(u)
+	g.mustHave(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive weight %d on edge {%d,%d}", w, u, v))
+	}
+	if g.setHalf(u, v, w) {
+		g.setHalf(v, u, w)
+		return
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	g.m++
+}
+
+// setHalf updates the weight of the half-edge u->v if present, reporting
+// whether it was found.
+func (g *Graph) setHalf(u, v ID, w int32) bool {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].W = w
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveEdge deletes the undirected edge {u,v}, reporting whether it existed.
+func (g *Graph) RemoveEdge(u, v ID) bool {
+	if !g.Has(u) || !g.Has(v) {
+		return false
+	}
+	if !g.dropHalf(u, v) {
+		return false
+	}
+	g.dropHalf(v, u)
+	g.m--
+	return true
+}
+
+func (g *Graph) dropHalf(u, v ID) bool {
+	a := g.adj[u]
+	for i := range a {
+		if a[i].To == v {
+			a[i] = a[len(a)-1]
+			g.adj[u] = a[:len(a)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether the undirected edge {u,v} is present.
+func (g *Graph) HasEdge(u, v ID) bool {
+	if !g.Has(u) || !g.Has(v) {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Weight returns the weight of edge {u,v} and whether it exists.
+func (g *Graph) Weight(u, v ID) (int32, bool) {
+	if !g.Has(u) || !g.Has(v) {
+		return 0, false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// Degree returns the number of live edges incident to v.
+func (g *Graph) Degree(v ID) int {
+	g.mustHave(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified or retained across mutations.
+func (g *Graph) Neighbors(v ID) []Edge {
+	g.mustHave(v)
+	return g.adj[v]
+}
+
+// Vertices returns the identifiers of all live vertices in ascending order.
+func (g *Graph) Vertices() []ID {
+	out := make([]ID, 0, g.NumVertices())
+	for v := range g.adj {
+		if !g.removed[v] {
+			out = append(out, ID(v))
+		}
+	}
+	return out
+}
+
+// Edges returns every live undirected edge exactly once (U < V), sorted.
+func (g *Graph) Edges() []EdgeTriple {
+	out := make([]EdgeTriple, 0, g.m)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if ID(u) < e.To {
+				out = append(out, EdgeTriple{U: ID(u), V: e.To, W: e.W})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:     make([][]Edge, len(g.adj)),
+		removed: make([]bool, len(g.removed)),
+		m:       g.m,
+		dead:    g.dead,
+	}
+	copy(c.removed, g.removed)
+	for v := range g.adj {
+		if len(g.adj[v]) > 0 {
+			c.adj[v] = append([]Edge(nil), g.adj[v]...)
+		}
+	}
+	return c
+}
+
+// TotalWeight returns the sum of all live edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var s int64
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			s += int64(e.W)
+		}
+	}
+	return s / 2
+}
+
+func (g *Graph) mustHave(v ID) {
+	if v < 0 || int(v) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+	if g.removed[v] {
+		panic(fmt.Sprintf("graph: vertex %d was removed", v))
+	}
+}
+
+// InducedSubgraph returns the subgraph induced by keep, along with a mapping
+// from new local identifiers to the original identifiers. Vertices in keep
+// must be live and distinct.
+func (g *Graph) InducedSubgraph(keep []ID) (*Graph, []ID) {
+	local := make(map[ID]ID, len(keep))
+	toGlobal := make([]ID, len(keep))
+	for i, v := range keep {
+		g.mustHave(v)
+		local[v] = ID(i)
+		toGlobal[i] = v
+	}
+	sub := New(len(keep))
+	for i, v := range keep {
+		for _, e := range g.adj[v] {
+			if j, ok := local[e.To]; ok && ID(i) < j {
+				sub.AddEdge(ID(i), j, e.W)
+			}
+		}
+	}
+	return sub, toGlobal
+}
+
+// ConnectedComponents returns the live vertices grouped into connected
+// components, largest first.
+func (g *Graph) ConnectedComponents() [][]ID {
+	seen := make([]bool, len(g.adj))
+	var comps [][]ID
+	var stack []ID
+	for start := range g.adj {
+		if g.removed[start] || seen[start] {
+			continue
+		}
+		var comp []ID
+		stack = append(stack[:0], ID(start))
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, e := range g.adj[v] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// IsConnected reports whether all live vertices are in one component.
+func (g *Graph) IsConnected() bool {
+	if g.NumVertices() <= 1 {
+		return true
+	}
+	comps := g.ConnectedComponents()
+	return len(comps) == 1
+}
+
+// Validate checks internal invariants (adjacency symmetry, weight agreement,
+// no self-loops, no edges to dead vertices, edge count) and returns an error
+// describing the first violation. It exists for tests and costs O(V+E·deg).
+func (g *Graph) Validate() error {
+	count := 0
+	for u := range g.adj {
+		if g.removed[u] && len(g.adj[u]) != 0 {
+			return fmt.Errorf("removed vertex %d has %d edges", u, len(g.adj[u]))
+		}
+		seen := make(map[ID]bool, len(g.adj[u]))
+		for _, e := range g.adj[u] {
+			if e.To == ID(u) {
+				return fmt.Errorf("self-loop on %d", u)
+			}
+			if seen[e.To] {
+				return fmt.Errorf("parallel edge {%d,%d}", u, e.To)
+			}
+			seen[e.To] = true
+			if int(e.To) >= len(g.adj) || g.removed[e.To] {
+				return fmt.Errorf("edge {%d,%d} points to dead or invalid vertex", u, e.To)
+			}
+			w, ok := g.Weight(e.To, ID(u))
+			if !ok {
+				return fmt.Errorf("edge {%d,%d} missing reverse half", u, e.To)
+			}
+			if w != e.W {
+				return fmt.Errorf("edge {%d,%d} weight mismatch %d vs %d", u, e.To, e.W, w)
+			}
+			if e.W <= 0 {
+				return fmt.Errorf("edge {%d,%d} non-positive weight %d", u, e.To, e.W)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("edge count mismatch: counted %d halves, recorded %d edges", count, g.m)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.NumVertices() != 5 || g.NumEdges() != 0 || g.NumIDs() != 5 {
+		t.Fatalf("unexpected counts: %d vertices, %d edges, %d ids", g.NumVertices(), g.NumEdges(), g.NumIDs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 5)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} missing in one direction")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge {0,2}")
+	}
+	if w, ok := g.Weight(1, 2); !ok || w != 5 {
+		t.Fatalf("weight(1,2) = %d,%v", w, ok)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edge count %d, want 2", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeUpdatesWeight(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 0, 9) // same undirected edge, new weight
+	if g.NumEdges() != 1 {
+		t.Fatalf("edge count %d, want 1", g.NumEdges())
+	}
+	if w, _ := g.Weight(0, 1); w != 9 {
+		t.Fatalf("weight %d, want 9", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgePanicsOnSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	New(2).AddEdge(1, 1, 1)
+}
+
+func TestAddEdgePanicsOnBadWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on weight 0")
+		}
+	}()
+	New(2).AddEdge(0, 1, 0)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge returned false for existing edge")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge returned true for missing edge")
+	}
+	if g.NumEdges() != 1 || g.HasEdge(0, 1) {
+		t.Fatal("edge {0,1} not fully removed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.NumVertices() != 3 {
+		t.Fatalf("AddVertex -> %d, n=%d", v, g.NumVertices())
+	}
+	first := g.AddVertices(3)
+	if first != 3 || g.NumVertices() != 6 {
+		t.Fatalf("AddVertices -> %d, n=%d", first, g.NumVertices())
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.RemoveVertex(1)
+	if g.Has(1) {
+		t.Fatal("vertex 1 still live")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("edges left: %d", g.NumEdges())
+	}
+	if g.NumVertices() != 4 || g.NumIDs() != 5 {
+		t.Fatalf("counts after removal: %d live, %d ids", g.NumVertices(), g.NumIDs())
+	}
+	// ID is never reused.
+	if v := g.AddVertex(); v != 5 {
+		t.Fatalf("new vertex got recycled id %d", v)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	if g.Degree(0) != 3 || g.Degree(3) != 1 {
+		t.Fatalf("degrees: %d, %d", g.Degree(0), g.Degree(3))
+	}
+	seen := map[ID]bool{}
+	for _, e := range g.Neighbors(0) {
+		seen[e.To] = true
+	}
+	if len(seen) != 3 || !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("neighbors of 0: %v", seen)
+	}
+}
+
+func TestEdgesSortedUnique(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 1, 7)
+	g.AddEdge(0, 3, 2)
+	g.AddEdge(0, 1, 5)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("got %d edges", len(es))
+	}
+	for i, e := range es {
+		if e.U >= e.V {
+			t.Fatalf("edge %d not canonical: %+v", i, e)
+		}
+		if i > 0 && (es[i-1].U > e.U || (es[i-1].U == e.U && es[i-1].V > e.V)) {
+			t.Fatalf("edges not sorted at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2, 1)
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Fatal("clone mutations leaked into original")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 4)
+	g.AddEdge(3, 4, 5)
+	sub, toGlobal := g.InducedSubgraph([]ID{1, 2, 4})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub has %d vertices", sub.NumVertices())
+	}
+	if sub.NumEdges() != 1 { // only {1,2} survives
+		t.Fatalf("sub has %d edges", sub.NumEdges())
+	}
+	if toGlobal[0] != 1 || toGlobal[1] != 2 || toGlobal[2] != 4 {
+		t.Fatalf("mapping %v", toGlobal)
+	}
+	if w, ok := sub.Weight(0, 1); !ok || w != 3 {
+		t.Fatalf("sub weight %d,%v", w, ok)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("got %d components", len(comps))
+	}
+	if len(comps[0]) != 3 {
+		t.Fatalf("largest component has %d", len(comps[0]))
+	}
+	if g.IsConnected() {
+		t.Fatal("claimed connected")
+	}
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 6, 1)
+	if !g.IsConnected() {
+		t.Fatal("claimed disconnected")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 6)
+	if tw := g.TotalWeight(); tw != 10 {
+		t.Fatalf("total weight %d", tw)
+	}
+}
+
+func TestVerticesSkipsRemoved(t *testing.T) {
+	g := New(4)
+	g.RemoveVertex(2)
+	vs := g.Vertices()
+	if len(vs) != 3 {
+		t.Fatalf("got %d vertices", len(vs))
+	}
+	for _, v := range vs {
+		if v == 2 {
+			t.Fatal("removed vertex listed")
+		}
+	}
+}
+
+// Property: a random sequence of mutations always leaves the graph valid,
+// with edge counts consistent under Validate.
+func TestPropertyRandomMutationsStayValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(1 + rng.Intn(20))
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				g.AddVertex()
+			case 1:
+				n := g.NumIDs()
+				u, v := ID(rng.Intn(n)), ID(rng.Intn(n))
+				if u != v && g.Has(u) && g.Has(v) {
+					g.AddEdge(u, v, int32(1+rng.Intn(9)))
+				}
+			case 2:
+				n := g.NumIDs()
+				g.RemoveEdge(ID(rng.Intn(n)), ID(rng.Intn(n)))
+			case 3:
+				if vs := g.Vertices(); len(vs) > 1 {
+					g.RemoveVertex(vs[rng.Intn(len(vs))])
+				}
+			case 4:
+				c := g.Clone()
+				if c.NumEdges() != g.NumEdges() || c.NumVertices() != g.NumVertices() {
+					return false
+				}
+			}
+			if err := g.Validate(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Edges() returns exactly NumEdges() canonical pairs and
+// round-trips through a fresh graph.
+func TestPropertyEdgesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := ID(rng.Intn(n)), ID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, int32(1+rng.Intn(5)))
+			}
+		}
+		es := g.Edges()
+		if len(es) != g.NumEdges() {
+			return false
+		}
+		h := New(n)
+		for _, e := range es {
+			h.AddEdge(e.U, e.V, e.W)
+		}
+		es2 := h.Edges()
+		if len(es2) != len(es) {
+			return false
+		}
+		for i := range es {
+			if es[i] != es2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as whitespace-separated "u v w" lines,
+// one per undirected edge (u < v), preceded by a "# vertices N" header so
+// isolated vertices round-trip.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", g.NumIDs()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the vertices header, and blank lines, are ignored.
+// A missing weight column defaults to 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	maxID := ID(-1)
+	type edge struct {
+		u, v ID
+		w    int32
+	}
+	var edges []edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var n int
+			if _, err := fmt.Sscanf(text, "# vertices %d", &n); err == nil {
+				g = New(n)
+			}
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: need at least 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+		}
+		w := int64(1)
+		if len(f) >= 3 {
+			w, err = strconv.ParseInt(f[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+			}
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: edge list line %d: self-loop %d", line, u)
+		}
+		edges = append(edges, edge{u: ID(u), v: ID(v), w: int32(w)})
+		if ID(u) > maxID {
+			maxID = ID(u)
+		}
+		if ID(v) > maxID {
+			maxID = ID(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		g = New(int(maxID) + 1)
+	} else if int(maxID) >= g.NumIDs() {
+		return nil, fmt.Errorf("graph: edge references vertex %d beyond declared count %d", maxID, g.NumIDs())
+	}
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v, e.w)
+	}
+	return g, nil
+}
+
+// WritePajek writes the graph in the Pajek .net format the paper's tooling
+// used (1-based vertex numbers, "*Vertices n" then "*Edges" sections).
+func WritePajek(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "*Vertices %d\n", g.NumIDs()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumIDs(); v++ {
+		if _, err := fmt.Fprintf(bw, "%d \"v%d\"\n", v+1, v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "*Edges"); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U+1, e.V+1, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPajek parses the subset of the Pajek .net format written by WritePajek:
+// a *Vertices section (labels ignored) followed by *Edges or *Arcs lines.
+// Arcs are treated as undirected edges, matching how the paper's experiments
+// used undirected scale-free graphs.
+func ReadPajek(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	inEdges := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		lower := strings.ToLower(text)
+		switch {
+		case strings.HasPrefix(lower, "*vertices"):
+			f := strings.Fields(text)
+			if len(f) < 2 {
+				return nil, fmt.Errorf("graph: pajek line %d: malformed *Vertices", line)
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: pajek line %d: %v", line, err)
+			}
+			g = New(n)
+			inEdges = false
+		case strings.HasPrefix(lower, "*edges") || strings.HasPrefix(lower, "*arcs"):
+			inEdges = true
+		case strings.HasPrefix(lower, "*"):
+			inEdges = false
+		case inEdges:
+			if g == nil {
+				return nil, fmt.Errorf("graph: pajek line %d: edges before *Vertices", line)
+			}
+			f := strings.Fields(text)
+			if len(f) < 2 {
+				return nil, fmt.Errorf("graph: pajek line %d: malformed edge %q", line, text)
+			}
+			u, err := strconv.Atoi(f[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: pajek line %d: %v", line, err)
+			}
+			v, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: pajek line %d: %v", line, err)
+			}
+			w := 1
+			if len(f) >= 3 {
+				// Pajek permits fractional weights; the engine is integral.
+				fw, err := strconv.ParseFloat(f[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: pajek line %d: %v", line, err)
+				}
+				w = int(fw)
+				if w < 1 {
+					w = 1
+				}
+			}
+			if u != v && !g.HasEdge(ID(u-1), ID(v-1)) {
+				g.AddEdge(ID(u-1), ID(v-1), int32(w))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: pajek input had no *Vertices section")
+	}
+	return g, nil
+}

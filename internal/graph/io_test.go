@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Graph {
+	g := New(5)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(3, 4, 1)
+	return g
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumIDs() != g.NumIDs() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			h.NumIDs(), h.NumEdges(), g.NumIDs(), g.NumEdges())
+	}
+	if w, ok := h.Weight(1, 2); !ok || w != 3 {
+		t.Fatalf("weight(1,2) = %d,%v", w, ok)
+	}
+}
+
+func TestEdgeListDefaultWeight(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.Weight(0, 1); w != 1 {
+		t.Fatalf("default weight %d", w)
+	}
+	if g.NumIDs() != 3 {
+		t.Fatalf("inferred %d ids", g.NumIDs())
+	}
+}
+
+func TestEdgeListRejectsSelfLoop(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1 1 4\n")); err == nil {
+		t.Fatal("expected error on self-loop")
+	}
+}
+
+func TestEdgeListRejectsOutOfRange(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("# vertices 2\n0 5 1\n")); err == nil {
+		t.Fatal("expected error on out-of-range vertex")
+	}
+}
+
+func TestEdgeListRejectsGarbage(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("zero one\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestPajekRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WritePajek(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadPajek(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumIDs() != g.NumIDs() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed counts")
+	}
+	if w, ok := h.Weight(0, 1); !ok || w != 2 {
+		t.Fatalf("weight(0,1) = %d,%v", w, ok)
+	}
+}
+
+func TestPajekParsesArcsAsEdges(t *testing.T) {
+	in := "*Vertices 3\n1 \"a\"\n2 \"b\"\n3 \"c\"\n*Arcs\n1 2 2.5\n3 2\n"
+	g, err := ReadPajek(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 1) {
+		t.Fatal("arcs not parsed as undirected edges")
+	}
+	if w, _ := g.Weight(0, 1); w != 2 { // 2.5 truncated
+		t.Fatalf("fractional weight handled as %d", w)
+	}
+}
+
+func TestPajekRequiresVertices(t *testing.T) {
+	if _, err := ReadPajek(strings.NewReader("*Edges\n1 2\n")); err == nil {
+		t.Fatal("expected error without *Vertices")
+	}
+}

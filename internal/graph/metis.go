@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS graph-file support. The paper partitions with ParMETIS/METIS, whose
+// native format is the de-facto interchange format of the partitioning
+// community: a header line "n m [fmt]" followed by one line per vertex
+// (1-based) listing its neighbours, with edge weights interleaved when fmt
+// has the 1-bit set ("1" or "001"). Comment lines start with '%'.
+
+// WriteMETIS writes g in METIS format with edge weights (fmt 001). Removed
+// vertices are written as isolated lines so indices stay stable.
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", g.NumIDs(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumIDs(); v++ {
+		if g.Has(ID(v)) {
+			first := true
+			for _, e := range g.Neighbors(ID(v)) {
+				if !first {
+					if err := bw.WriteByte(' '); err != nil {
+						return err
+					}
+				}
+				first = false
+				if _, err := fmt.Fprintf(bw, "%d %d", e.To+1, e.W); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses the METIS graph format (fmt 0, 1 or 001 variants: edge
+// weights on or off; vertex weights are not supported and rejected).
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	edgeWeights := false
+	declared := 0
+	vertex := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(text, "%") {
+			continue
+		}
+		if g == nil {
+			f := strings.Fields(text)
+			if len(f) < 2 || len(f) > 3 {
+				return nil, fmt.Errorf("graph: metis line %d: malformed header %q", line, text)
+			}
+			n, err := strconv.Atoi(f[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: metis line %d: %v", line, err)
+			}
+			m, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: metis line %d: %v", line, err)
+			}
+			declared = m
+			if len(f) == 3 {
+				switch strings.TrimLeft(f[2], "0") {
+				case "":
+					// fmt 0/00/000: plain
+				case "1":
+					edgeWeights = true
+				default:
+					return nil, fmt.Errorf("graph: metis fmt %q not supported (vertex weights)", f[2])
+				}
+			}
+			g = New(n)
+			continue
+		}
+		if vertex >= g.NumIDs() {
+			if text == "" {
+				continue
+			}
+			return nil, fmt.Errorf("graph: metis line %d: more vertex lines than declared", line)
+		}
+		f := strings.Fields(text)
+		step := 1
+		if edgeWeights {
+			step = 2
+		}
+		if len(f)%step != 0 {
+			return nil, fmt.Errorf("graph: metis line %d: odd field count with edge weights", line)
+		}
+		for i := 0; i < len(f); i += step {
+			u, err := strconv.Atoi(f[i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: metis line %d: %v", line, err)
+			}
+			if u < 1 || u > g.NumIDs() {
+				return nil, fmt.Errorf("graph: metis line %d: neighbour %d out of range", line, u)
+			}
+			w := 1
+			if edgeWeights {
+				w, err = strconv.Atoi(f[i+1])
+				if err != nil || w < 1 {
+					return nil, fmt.Errorf("graph: metis line %d: bad edge weight %q", line, f[i+1])
+				}
+			}
+			to := ID(u - 1)
+			self := ID(vertex)
+			if to == self {
+				return nil, fmt.Errorf("graph: metis line %d: self-loop", line)
+			}
+			// Each edge appears in both endpoint lines; add once.
+			if !g.HasEdge(self, to) {
+				g.AddEdge(self, to, int32(w))
+			}
+		}
+		vertex++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: metis input empty")
+	}
+	if g.NumEdges() != declared {
+		return nil, fmt.Errorf("graph: metis declared %d edges, found %d", declared, g.NumEdges())
+	}
+	return g, nil
+}

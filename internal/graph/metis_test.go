@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(3, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumIDs() != 5 || h.NumEdges() != 3 {
+		t.Fatalf("round trip counts: %d/%d", h.NumIDs(), h.NumEdges())
+	}
+	if w, ok := h.Weight(1, 2); !ok || w != 3 {
+		t.Fatalf("weight lost: %d,%v", w, ok)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMETISPlainFormat(t *testing.T) {
+	// Unweighted format: 4 vertices, 3 edges, no fmt field.
+	in := "% a comment\n4 3\n2 3\n1\n1 4\n3\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(2, 3) {
+		t.Fatal("edges wrong")
+	}
+	if w, _ := g.Weight(0, 1); w != 1 {
+		t.Fatalf("default weight %d", w)
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"x y\n",
+		"2 1 011\n2\n1\n",   // vertex weights unsupported
+		"2 1\n3\n\n",        // neighbour out of range
+		"2 1\n1\n2\n",       // self-loop (vertex 1 lists itself)
+		"2 5\n2\n1\n",       // declared edge count wrong
+		"2 1 1\n2\n1 1\n",   // odd fields with edge weights
+		"1 0\n\n\nextra\n",  // more vertex lines than declared
+		"2 1 1\n2 0\n1 0\n", // weight < 1
+	} {
+		if _, err := ReadMETIS(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestMETISRemovedVerticesStayIsolated(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	g.RemoveVertex(2)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Degree(2) != 0 {
+		t.Fatal("removed vertex regained edges")
+	}
+	if !h.HasEdge(0, 1) {
+		t.Fatal("edge lost")
+	}
+}

@@ -1,0 +1,124 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func TestDecomposePath(t *testing.T) {
+	r := Decompose(gen.Path(6))
+	if r.Degeneracy != 1 {
+		t.Fatalf("path degeneracy %d", r.Degeneracy)
+	}
+	for v := 0; v < 6; v++ {
+		if r.Coreness[v] != 1 {
+			t.Fatalf("path coreness[%d] = %d", v, r.Coreness[v])
+		}
+	}
+}
+
+func TestDecomposeClique(t *testing.T) {
+	r := Decompose(gen.Complete(5))
+	if r.Degeneracy != 4 {
+		t.Fatalf("K5 degeneracy %d", r.Degeneracy)
+	}
+	for v := 0; v < 5; v++ {
+		if r.Coreness[v] != 4 {
+			t.Fatalf("K5 coreness[%d] = %d", v, r.Coreness[v])
+		}
+	}
+}
+
+func TestDecomposeCliqueWithTail(t *testing.T) {
+	// K4 on {0..3} plus a pendant path 3-4-5.
+	g := graph.New(6)
+	for i := graph.ID(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	r := Decompose(g)
+	if r.Degeneracy != 3 {
+		t.Fatalf("degeneracy %d", r.Degeneracy)
+	}
+	for v := 0; v < 4; v++ {
+		if r.Coreness[v] != 3 {
+			t.Fatalf("clique coreness[%d] = %d", v, r.Coreness[v])
+		}
+	}
+	if r.Coreness[4] != 1 || r.Coreness[5] != 1 {
+		t.Fatalf("tail coreness %d, %d", r.Coreness[4], r.Coreness[5])
+	}
+	core3 := r.Core(3)
+	if len(core3) != 4 {
+		t.Fatalf("3-core size %d", len(core3))
+	}
+}
+
+func TestDecomposeStarAndIsolated(t *testing.T) {
+	g := gen.Star(5)
+	g.AddVertex() // isolated
+	r := Decompose(g)
+	if r.Degeneracy != 1 {
+		t.Fatalf("star degeneracy %d", r.Degeneracy)
+	}
+	if r.Coreness[5] != 0 {
+		t.Fatalf("isolated coreness %d", r.Coreness[5])
+	}
+}
+
+func TestDegeneracyOrderProperty(t *testing.T) {
+	// In a degeneracy ordering, every vertex has at most Degeneracy
+	// neighbours appearing later.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyiM(20+rng.Intn(100), 60+rng.Intn(200), rng.Int63(), gen.Config{})
+		r := Decompose(g)
+		pos := make([]int, g.NumIDs())
+		for i, v := range r.Order {
+			pos[v] = i
+		}
+		for _, v := range r.Order {
+			later := 0
+			for _, e := range g.Neighbors(v) {
+				if pos[e.To] > pos[v] {
+					later++
+				}
+			}
+			if later > r.Degeneracy {
+				return false
+			}
+		}
+		// Coreness sanity: the k-core is non-empty for k = degeneracy.
+		return len(r.Core(r.Degeneracy)) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(15))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorenessUpperBoundedByDegree(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 4, gen.Config{})
+	r := Decompose(g)
+	for _, v := range g.Vertices() {
+		if r.Coreness[v] > g.Degree(v) {
+			t.Fatalf("coreness %d above degree %d at %d", r.Coreness[v], g.Degree(v), v)
+		}
+		if r.Coreness[v] < 1 {
+			t.Fatalf("connected vertex %d has coreness %d", v, r.Coreness[v])
+		}
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	r := Decompose(graph.New(0))
+	if r.Degeneracy != 0 || len(r.Order) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}

@@ -1,0 +1,293 @@
+// Package louvain implements Louvain community detection (Blondel et al.),
+// the method the paper's experiments used (via Pajek) to extract
+// community-structured vertex batches for the vertex-addition workloads.
+//
+// The implementation is the standard two-level loop: local modularity-
+// optimising moves until convergence, then aggregation of communities into a
+// weighted super-graph, repeated until modularity stops improving.
+package louvain
+
+import (
+	"math/rand"
+	"sort"
+
+	"aacc/internal/graph"
+)
+
+// Result holds the detected communities.
+type Result struct {
+	// Community maps vertex ID -> community index (dense, 0-based);
+	// -1 for dead vertices.
+	Community []int
+	// NumCommunities is the number of distinct communities.
+	NumCommunities int
+	// Modularity of the final partition.
+	Modularity float64
+}
+
+// Members returns the vertices of each community, sorted by community index.
+func (r Result) Members() [][]graph.ID {
+	out := make([][]graph.ID, r.NumCommunities)
+	for v, c := range r.Community {
+		if c >= 0 {
+			out[c] = append(out[c], graph.ID(v))
+		}
+	}
+	return out
+}
+
+// internal weighted multigraph with self-loops, used across aggregation levels.
+type lgraph struct {
+	adj  [][]larc
+	self []float64 // self-loop weight (internal weight of collapsed community)
+	deg  []float64 // weighted degree incl. 2*self
+	m2   float64   // 2 * total edge weight
+}
+
+type larc struct {
+	to int32
+	w  float64
+}
+
+// Detect runs Louvain on g with the given seed (which randomises the vertex
+// visiting order) and returns the community assignment of the live vertices.
+func Detect(g *graph.Graph, seed int64) Result {
+	n := g.NumIDs()
+	live := g.Vertices()
+	if len(live) == 0 {
+		return Result{Community: make([]int, n)}
+	}
+	// Compact live vertices.
+	toCompact := make([]int32, n)
+	for i := range toCompact {
+		toCompact[i] = -1
+	}
+	for i, v := range live {
+		toCompact[v] = int32(i)
+	}
+	lg := &lgraph{
+		adj:  make([][]larc, len(live)),
+		self: make([]float64, len(live)),
+		deg:  make([]float64, len(live)),
+	}
+	for i, v := range live {
+		for _, e := range g.Neighbors(v) {
+			lg.adj[i] = append(lg.adj[i], larc{to: toCompact[e.To], w: float64(e.W)})
+			lg.deg[i] += float64(e.W)
+			lg.m2 += float64(e.W)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed + 0x10a41))
+	// membership[level] maps that level's vertices to next level's vertices.
+	var memberships [][]int32
+	for {
+		comm, improved := localMove(lg, rng)
+		memberships = append(memberships, comm)
+		if !improved && len(memberships) > 1 {
+			break
+		}
+		next := aggregate(lg, comm)
+		if next.n() == lg.n() {
+			break
+		}
+		lg = next
+		if !improved {
+			break
+		}
+	}
+	// Flatten memberships down to the original compact vertices.
+	final := make([]int32, len(live))
+	for i := range final {
+		final[i] = int32(i)
+	}
+	for _, m := range memberships {
+		for i := range final {
+			final[i] = m[final[i]]
+		}
+	}
+	// Renumber densely in order of first appearance for determinism.
+	renum := map[int32]int{}
+	order := append([]int32(nil), final...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, c := range order {
+		if _, ok := renum[c]; !ok {
+			renum[c] = len(renum)
+		}
+	}
+	res := Result{Community: make([]int, n), NumCommunities: len(renum)}
+	for i := range res.Community {
+		res.Community[i] = -1
+	}
+	for i, v := range live {
+		res.Community[v] = renum[final[i]]
+	}
+	res.Modularity = Modularity(g, res.Community)
+	return res
+}
+
+func (lg *lgraph) n() int { return len(lg.deg) }
+
+// localMove runs modularity-optimising single-vertex moves until a full
+// sweep makes no move. It returns each vertex's community and whether any
+// move happened.
+func localMove(lg *lgraph, rng *rand.Rand) ([]int32, bool) {
+	n := lg.n()
+	comm := make([]int32, n)
+	ctot := make([]float64, n) // total degree of each community
+	for v := 0; v < n; v++ {
+		comm[v] = int32(v)
+		ctot[v] = lg.deg[v] + 2*lg.self[v]
+	}
+	if lg.m2 == 0 {
+		return comm, false
+	}
+	order := rng.Perm(n)
+	// neighbour-community weight scatter
+	nw := make([]float64, n)
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	improvedEver := false
+	visit := int32(0) // monotone stamp: distinct per (sweep, vertex) visit
+	for sweep := 0; sweep < 64; sweep++ {
+		moves := 0
+		for _, v := range order {
+			visit++
+			cv := comm[v]
+			dv := lg.deg[v] + 2*lg.self[v]
+			// Gather weights to neighbouring communities.
+			var touched []int32
+			for _, a := range lg.adj[v] {
+				c := comm[a.to]
+				if stamp[c] != visit {
+					stamp[c] = visit
+					nw[c] = 0
+					touched = append(touched, c)
+				}
+				nw[c] += a.w
+			}
+			// Remove v from its community.
+			ctot[cv] -= dv
+			wOwn := 0.0
+			if stamp[cv] == visit {
+				wOwn = nw[cv]
+			}
+			best := cv
+			bestGain := wOwn - ctot[cv]*dv/lg.m2
+			for _, c := range touched {
+				if c == cv {
+					continue
+				}
+				gain := nw[c] - ctot[c]*dv/lg.m2
+				if gain > bestGain+1e-12 {
+					best, bestGain = c, gain
+				}
+			}
+			ctot[best] += dv
+			if best != cv {
+				comm[v] = best
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+		improvedEver = true
+	}
+	return comm, improvedEver
+}
+
+// aggregate collapses communities into super-vertices.
+func aggregate(lg *lgraph, comm []int32) *lgraph {
+	// Renumber communities densely.
+	renum := make([]int32, lg.n())
+	for i := range renum {
+		renum[i] = -1
+	}
+	nc := int32(0)
+	for _, c := range comm {
+		if renum[c] == -1 {
+			renum[c] = nc
+			nc++
+		}
+	}
+	out := &lgraph{
+		adj:  make([][]larc, nc),
+		self: make([]float64, nc),
+		deg:  make([]float64, nc),
+		m2:   lg.m2,
+	}
+	acc := make([]float64, nc)
+	stamp := make([]int32, nc)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	// Group vertices by community.
+	groups := make([][]int32, nc)
+	for v := 0; v < lg.n(); v++ {
+		c := renum[comm[v]]
+		groups[c] = append(groups[c], int32(v))
+	}
+	for c := int32(0); c < nc; c++ {
+		var touched []int32
+		for _, v := range groups[c] {
+			out.self[c] += lg.self[v]
+			for _, a := range lg.adj[v] {
+				tc := renum[comm[a.to]]
+				if tc == c {
+					out.self[c] += a.w / 2
+					continue
+				}
+				if stamp[tc] != c {
+					stamp[tc] = c
+					acc[tc] = 0
+					touched = append(touched, tc)
+				}
+				acc[tc] += a.w
+			}
+		}
+		for _, tc := range touched {
+			out.adj[c] = append(out.adj[c], larc{to: tc, w: acc[tc]})
+			out.deg[c] += acc[tc]
+		}
+	}
+	// Rewrite comm in place to point at the dense numbering.
+	for v := range comm {
+		comm[v] = renum[comm[v]]
+	}
+	return out
+}
+
+// Modularity computes Newman modularity Q of the given community labelling
+// over the live vertices of g (labels < 0 are ignored).
+func Modularity(g *graph.Graph, community []int) float64 {
+	m2 := 0.0
+	inw := map[int]float64{}  // 2 * internal weight per community
+	degw := map[int]float64{} // total degree per community
+	for _, v := range g.Vertices() {
+		cv := community[v]
+		if cv < 0 {
+			continue
+		}
+		for _, e := range g.Neighbors(v) {
+			m2 += float64(e.W)
+			degw[cv] += float64(e.W)
+			if community[e.To] == cv {
+				inw[cv] += float64(e.W)
+			}
+		}
+	}
+	if m2 == 0 {
+		return 0
+	}
+	q := 0.0
+	for c, in := range inw {
+		q += in / m2
+		_ = c
+	}
+	for _, d := range degw {
+		q -= (d / m2) * (d / m2)
+	}
+	return q
+}

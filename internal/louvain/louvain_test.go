@@ -1,0 +1,139 @@
+package louvain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func TestDetectTwoCliques(t *testing.T) {
+	// Two K5s joined by one edge: Louvain must find exactly the cliques.
+	g := graph.New(10)
+	for c := 0; c < 2; c++ {
+		base := graph.ID(5 * c)
+		for i := graph.ID(0); i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddEdge(base+i, base+j, 1)
+			}
+		}
+	}
+	g.AddEdge(4, 5, 1)
+	res := Detect(g, 1)
+	if res.NumCommunities != 2 {
+		t.Fatalf("found %d communities, want 2", res.NumCommunities)
+	}
+	for v := 1; v < 5; v++ {
+		if res.Community[v] != res.Community[0] {
+			t.Fatalf("clique 1 split: %v", res.Community)
+		}
+	}
+	for v := 6; v < 10; v++ {
+		if res.Community[v] != res.Community[5] {
+			t.Fatalf("clique 2 split: %v", res.Community)
+		}
+	}
+	if res.Community[0] == res.Community[5] {
+		t.Fatal("cliques merged")
+	}
+	if res.Modularity < 0.3 {
+		t.Fatalf("modularity %.3f too low", res.Modularity)
+	}
+}
+
+func TestDetectPlantedPartition(t *testing.T) {
+	g := gen.PlantedPartition(200, 4, 0.25, 0.005, 2, gen.Config{})
+	res := Detect(g, 3)
+	if res.NumCommunities < 3 || res.NumCommunities > 8 {
+		t.Fatalf("found %d communities for 4 planted", res.NumCommunities)
+	}
+	if res.Modularity < 0.4 {
+		t.Fatalf("modularity %.3f", res.Modularity)
+	}
+	// Majority of each planted block should share a label.
+	for b := 0; b < 4; b++ {
+		counts := map[int]int{}
+		for v := b * 50; v < (b+1)*50; v++ {
+			counts[res.Community[v]]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		if max < 35 {
+			t.Fatalf("block %d fragmented: %v", b, counts)
+		}
+	}
+}
+
+func TestDetectHandlesDeadVertices(t *testing.T) {
+	g := gen.Path(10)
+	g.RemoveVertex(4)
+	res := Detect(g, 1)
+	if res.Community[4] != -1 {
+		t.Fatal("dead vertex got a community")
+	}
+}
+
+func TestDetectSingletons(t *testing.T) {
+	g := graph.New(3) // no edges at all
+	res := Detect(g, 1)
+	if res.NumCommunities != 3 {
+		t.Fatalf("%d communities for 3 isolated vertices", res.NumCommunities)
+	}
+}
+
+func TestMembersPartitionVertices(t *testing.T) {
+	g := gen.PlantedPartition(60, 3, 0.3, 0.01, 4, gen.Config{})
+	res := Detect(g, 5)
+	seen := map[graph.ID]bool{}
+	for _, mem := range res.Members() {
+		for _, v := range mem {
+			if seen[v] {
+				t.Fatalf("vertex %d in two communities", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("members cover %d of 60", len(seen))
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	g := gen.Complete(8)
+	all := make([]int, 8) // one community
+	if q := Modularity(g, all); q > 1e-9 || q < -0.5 {
+		t.Fatalf("K8 single-community modularity %.3f", q)
+	}
+}
+
+// Property: Detect yields a valid labelling (dense labels over live
+// vertices, -1 for dead) with modularity in [-0.5, 1].
+func TestPropertyDetectValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(120)
+		g := gen.BarabasiAlbert(n, 1+rng.Intn(2), rng.Int63(), gen.Config{})
+		res := Detect(g, rng.Int63())
+		if res.Modularity < -0.5 || res.Modularity > 1 {
+			return false
+		}
+		labels := map[int]bool{}
+		for _, v := range g.Vertices() {
+			c := res.Community[v]
+			if c < 0 || c >= res.NumCommunities {
+				return false
+			}
+			labels[c] = true
+		}
+		return len(labels) == res.NumCommunities
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package metrics computes the load-balance and cut-edge statistics the
+// paper's evaluation reports, and formats experiment tables.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aacc/internal/graph"
+)
+
+// Load summarises per-processor computation and communication load.
+type Load struct {
+	// Vertices[p] is the number of vertices owned by processor p.
+	Vertices []int
+	// CutEdges[p] is the number of cut edges incident to processor p.
+	CutEdges []int
+	// TotalCut is the number of distinct cut edges.
+	TotalCut int
+	// VertexImbalance is max owned / ideal (1.0 = perfect).
+	VertexImbalance float64
+	// CutImbalance is max per-processor cut / mean per-processor cut.
+	CutImbalance float64
+}
+
+// Measure computes Load for a graph and an ownership function (owner(v) < 0
+// for dead vertices).
+func Measure(g *graph.Graph, p int, owner func(graph.ID) int) Load {
+	l := Load{Vertices: make([]int, p), CutEdges: make([]int, p)}
+	live := 0
+	for _, v := range g.Vertices() {
+		o := owner(v)
+		if o < 0 || o >= p {
+			continue
+		}
+		live++
+		l.Vertices[o]++
+		for _, e := range g.Neighbors(v) {
+			oo := owner(e.To)
+			if oo >= 0 && oo != o {
+				l.CutEdges[o]++
+				if v < e.To {
+					l.TotalCut++
+				}
+			}
+		}
+	}
+	if live > 0 {
+		ideal := float64(live) / float64(p)
+		maxV := 0
+		for _, c := range l.Vertices {
+			if c > maxV {
+				maxV = c
+			}
+		}
+		l.VertexImbalance = float64(maxV) / ideal
+	}
+	sum, maxC := 0, 0
+	for _, c := range l.CutEdges {
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if sum > 0 {
+		l.CutImbalance = float64(maxC) / (float64(sum) / float64(p))
+	}
+	return l
+}
+
+// Table is a simple aligned-column experiment table mirroring the rows and
+// series of one paper figure.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloats appends a row of a leading label plus %.4g-formatted values.
+func (t *Table) AddFloats(label string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.4g", v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+		_ = i
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

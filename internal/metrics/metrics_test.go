@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func TestMeasureBalanced(t *testing.T) {
+	g := gen.Path(8) // 0-1-2-3-4-5-6-7
+	owner := func(v graph.ID) int { return int(v) / 4 }
+	l := Measure(g, 2, owner)
+	if l.Vertices[0] != 4 || l.Vertices[1] != 4 {
+		t.Fatalf("vertices %v", l.Vertices)
+	}
+	if l.TotalCut != 1 {
+		t.Fatalf("total cut %d", l.TotalCut)
+	}
+	if l.CutEdges[0] != 1 || l.CutEdges[1] != 1 {
+		t.Fatalf("per-proc cut %v", l.CutEdges)
+	}
+	if l.VertexImbalance != 1 {
+		t.Fatalf("imbalance %.3f", l.VertexImbalance)
+	}
+	if l.CutImbalance != 1 {
+		t.Fatalf("cut imbalance %.3f", l.CutImbalance)
+	}
+}
+
+func TestMeasureSkewed(t *testing.T) {
+	g := gen.Star(5) // center 0
+	owner := func(v graph.ID) int {
+		if v == 0 {
+			return 0
+		}
+		return 1
+	}
+	l := Measure(g, 2, owner)
+	if l.TotalCut != 4 {
+		t.Fatalf("total cut %d", l.TotalCut)
+	}
+	if l.VertexImbalance != 1.6 { // 4 of 5 on proc 1
+		t.Fatalf("imbalance %.3f", l.VertexImbalance)
+	}
+}
+
+func TestMeasureSkipsDead(t *testing.T) {
+	g := gen.Path(5)
+	g.RemoveVertex(2)
+	l := Measure(g, 2, func(v graph.ID) int {
+		if v == 2 {
+			return -1
+		}
+		return int(v) % 2
+	})
+	total := 0
+	for _, c := range l.Vertices {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("counted %d vertices", total)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddFloats("beta", 2.5, 3.25)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## demo", "name", "value", "alpha", "beta", "2.5", "3.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableHandlesRaggedRows(t *testing.T) {
+	tab := Table{Title: "ragged", Columns: []string{"a", "b"}}
+	tab.AddRow("only-one")
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only-one") {
+		t.Fatal("row lost")
+	}
+}

@@ -1,0 +1,576 @@
+package partition
+
+import (
+	"math/rand"
+
+	"aacc/internal/graph"
+)
+
+// Multilevel is a from-scratch METIS-style partitioner: recursive bisection
+// where each bisection coarsens the graph by heavy-edge matching, computes a
+// greedy-growing initial split on the coarsest graph, and refines the split
+// with Fiduccia–Mattheyses passes while projecting back up the levels.
+type Multilevel struct {
+	// Seed makes matching/seeding deterministic. Different seeds explore
+	// different matchings; the engine fixes seeds per experiment.
+	Seed int64
+	// Epsilon is the allowed balance slack (default 0.05 = parts may be
+	// up to 5% above their proportional share).
+	Epsilon float64
+	// CoarsenTo stops coarsening once a level has at most this many
+	// vertices (default 64).
+	CoarsenTo int
+	// WeightByDegree balances parts by total degree instead of vertex
+	// count: on skewed (scale-free, R-MAT) graphs a hub vertex costs far
+	// more communication than a leaf, so degree balance approximates
+	// communication balance. Vertex-count balance (the default) matches
+	// the paper's set-up, where per-vertex DV rows dominate computation.
+	WeightByDegree bool
+}
+
+func (Multilevel) Name() string { return "multilevel" }
+
+func (m Multilevel) epsilon() float64 {
+	if m.Epsilon <= 0 {
+		return 0.05
+	}
+	return m.Epsilon
+}
+
+func (m Multilevel) coarsenTo() int {
+	if m.CoarsenTo <= 0 {
+		return 64
+	}
+	return m.CoarsenTo
+}
+
+// Partition splits the live vertices of g into k parts.
+func (m Multilevel) Partition(g *graph.Graph, k int) Assignment {
+	a := NewAssignment(g.NumIDs(), k)
+	live := g.Vertices()
+	if len(live) == 0 || k <= 0 {
+		return a
+	}
+	if k == 1 {
+		for _, v := range live {
+			a.Part[v] = 0
+		}
+		return a
+	}
+	// Compact the live vertices into 0..n-1.
+	toCompact := make(map[graph.ID]int32, len(live))
+	for i, v := range live {
+		toCompact[v] = int32(i)
+	}
+	w := &wgraph{
+		adj: make([][]warc, len(live)),
+		vw:  make([]int64, len(live)),
+	}
+	for i, v := range live {
+		if m.WeightByDegree {
+			w.vw[i] = 1 + int64(g.Degree(v))
+		} else {
+			w.vw[i] = 1
+		}
+		for _, e := range g.Neighbors(v) {
+			w.adj[i] = append(w.adj[i], warc{to: toCompact[e.To], w: int64(e.W)})
+		}
+	}
+	rng := rand.New(rand.NewSource(m.Seed + 0x5eed))
+	// Recursive bisection compounds per-level slack multiplicatively, so
+	// the per-bisection budget is the overall budget divided by the
+	// recursion depth.
+	levels := 0
+	for kk := k; kk > 1; kk = (kk + 1) / 2 {
+		levels++
+	}
+	m.Epsilon = m.epsilon() / float64(levels)
+	parts := m.kway(w, k, rng)
+	for i, v := range live {
+		a.Part[v] = parts[i]
+	}
+	return a
+}
+
+// warc is a weighted arc in the internal working graph.
+type warc struct {
+	to int32
+	w  int64
+}
+
+// wgraph is the internal weighted working graph used during coarsening.
+type wgraph struct {
+	adj [][]warc
+	vw  []int64
+}
+
+func (w *wgraph) n() int { return len(w.vw) }
+
+func (w *wgraph) totalVW() int64 {
+	var t int64
+	for _, x := range w.vw {
+		t += x
+	}
+	return t
+}
+
+// kway partitions w into k parts by recursive bisection.
+func (m Multilevel) kway(w *wgraph, k int, rng *rand.Rand) []int {
+	parts := make([]int, w.n())
+	if k == 1 {
+		return parts
+	}
+	kL := k / 2
+	kR := k - kL
+	targetL := w.totalVW() * int64(kL) / int64(k)
+	side := m.bisect(w, targetL, rng)
+	var idxL, idxR []int32
+	for v := 0; v < w.n(); v++ {
+		if side[v] == 0 {
+			idxL = append(idxL, int32(v))
+		} else {
+			idxR = append(idxR, int32(v))
+		}
+	}
+	subL := w.induced(idxL)
+	subR := w.induced(idxR)
+	pL := m.kway(subL, kL, rng)
+	pR := m.kway(subR, kR, rng)
+	for i, v := range idxL {
+		parts[v] = pL[i]
+	}
+	for i, v := range idxR {
+		parts[v] = kL + pR[i]
+	}
+	return parts
+}
+
+// induced builds the subgraph of w over keep (compact reindexing).
+func (w *wgraph) induced(keep []int32) *wgraph {
+	remap := make([]int32, w.n())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range keep {
+		remap[v] = int32(i)
+	}
+	sub := &wgraph{
+		adj: make([][]warc, len(keep)),
+		vw:  make([]int64, len(keep)),
+	}
+	for i, v := range keep {
+		sub.vw[i] = w.vw[v]
+		for _, a := range w.adj[v] {
+			if j := remap[a.to]; j >= 0 {
+				sub.adj[i] = append(sub.adj[i], warc{to: j, w: a.w})
+			}
+		}
+	}
+	return sub
+}
+
+// bisect splits w into sides 0/1 with side-0 vertex weight near targetL.
+func (m Multilevel) bisect(w *wgraph, targetL int64, rng *rand.Rand) []int8 {
+	// Coarsening phase: stack of levels with their match maps.
+	type level struct {
+		g     *wgraph
+		cmap  []int32 // fine vertex -> coarse vertex
+		finer *wgraph
+	}
+	var levels []level
+	cur := w
+	for cur.n() > m.coarsenTo() {
+		coarse, cmap := coarsenHEM(cur, rng)
+		if coarse.n() >= cur.n()*9/10 {
+			break // matching stalled; further levels would not shrink
+		}
+		levels = append(levels, level{g: coarse, cmap: cmap, finer: cur})
+		cur = coarse
+	}
+	side := m.initialBisection(cur, targetL, rng)
+	m.fmRefine(cur, side, targetL)
+	m.balanceRepair(cur, side, targetL)
+	// Uncoarsen: project and refine at each finer level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int8, lv.finer.n())
+		for v := range fine {
+			fine[v] = side[lv.cmap[v]]
+		}
+		side = fine
+		m.fmRefine(lv.finer, side, targetL)
+		m.balanceRepair(lv.finer, side, targetL)
+	}
+	return side
+}
+
+// balanceRepair restores the balance constraint after refinement: while one
+// side exceeds its slack, the least-damaging vertices (highest gain = most
+// external weight) move to the lighter side. FM alone preserves whatever
+// balance it is given but cannot repair an imbalanced projection, and
+// recursive bisection compounds per-level slack, so each level ends with an
+// explicit repair.
+func (m Multilevel) balanceRepair(w *wgraph, side []int8, targetL int64) {
+	total := w.totalVW()
+	targetR := total - targetL
+	slackL := int64(float64(targetL) * m.epsilon())
+	slackR := int64(float64(targetR) * m.epsilon())
+	for iter := 0; iter < w.n(); iter++ {
+		var wL int64
+		for v := 0; v < w.n(); v++ {
+			if side[v] == 0 {
+				wL += w.vw[v]
+			}
+		}
+		var from int8
+		switch {
+		case wL > targetL+slackL:
+			from = 0
+		case (total - wL) > targetR+slackR:
+			from = 1
+		default:
+			return
+		}
+		best := -1
+		var bestGain int64 = -1 << 62
+		for v := 0; v < w.n(); v++ {
+			if side[v] != from {
+				continue
+			}
+			var g int64
+			for _, a := range w.adj[v] {
+				if side[a.to] == side[v] {
+					g -= a.w
+				} else {
+					g += a.w
+				}
+			}
+			if g > bestGain {
+				best, bestGain = v, g
+			}
+		}
+		if best < 0 {
+			return
+		}
+		side[best] ^= 1
+	}
+}
+
+// coarsenHEM computes a heavy-edge matching of w and collapses matched pairs.
+func coarsenHEM(w *wgraph, rng *rand.Rand) (*wgraph, []int32) {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		for _, a := range w.adj[v] {
+			if match[a.to] == -1 && a.to != int32(v) && a.w > bestW {
+				best, bestW = a.to, a.w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = int32(v)
+		} else {
+			match[v] = int32(v)
+		}
+	}
+	cmap := make([]int32, n)
+	nc := int32(0)
+	for v := 0; v < n; v++ {
+		u := match[v]
+		if int32(v) <= u {
+			cmap[v] = nc
+			if int(u) != v {
+				cmap[u] = nc
+			}
+			nc++
+		}
+	}
+	coarse := &wgraph{
+		adj: make([][]warc, nc),
+		vw:  make([]int64, nc),
+	}
+	// Accumulate combined arcs with a timestamped scatter array.
+	acc := make([]int64, nc)
+	stamp := make([]int32, nc)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	touched := make([]int32, 0, 64)
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		coarse.vw[cv] += w.vw[v]
+		if int(match[v]) < v {
+			continue // pair handled at its smaller endpoint
+		}
+		touched = touched[:0]
+		collect := func(x int) {
+			for _, a := range w.adj[x] {
+				ct := cmap[a.to]
+				if ct == cv {
+					continue
+				}
+				if stamp[ct] != cv {
+					stamp[ct] = cv
+					acc[ct] = 0
+					touched = append(touched, ct)
+				}
+				acc[ct] += a.w
+			}
+		}
+		collect(v)
+		if int(match[v]) != v {
+			collect(int(match[v]))
+		}
+		for _, ct := range touched {
+			coarse.adj[cv] = append(coarse.adj[cv], warc{to: ct, w: acc[ct]})
+		}
+	}
+	return coarse, cmap
+}
+
+// initialBisection grows side 0 breadth-first from a random seed until it
+// holds ~targetL vertex weight, preferring the frontier vertex most
+// connected to the growing side (greedy graph growing).
+func (m Multilevel) initialBisection(w *wgraph, targetL int64, rng *rand.Rand) []int8 {
+	n := w.n()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	if n == 0 {
+		return side
+	}
+	var grown int64
+	seed := rng.Intn(n)
+	side[seed] = 0
+	grown += w.vw[seed]
+	frontier := map[int32]bool{}
+	addFrontier := func(v int) {
+		for _, a := range w.adj[v] {
+			if side[a.to] == 1 {
+				frontier[a.to] = true
+			}
+		}
+	}
+	addFrontier(seed)
+	for grown < targetL {
+		var best int32 = -1
+		var bestGain int64 = -1 << 62
+		for f := range frontier {
+			var gain int64
+			for _, a := range w.adj[f] {
+				if side[a.to] == 0 {
+					gain += a.w
+				} else {
+					gain -= a.w
+				}
+			}
+			// Tie-break on vertex id: map iteration order must not
+			// influence the partition (experiments need determinism).
+			if gain > bestGain || (gain == bestGain && f < best) {
+				best, bestGain = f, gain
+			}
+		}
+		if best == -1 {
+			// Disconnected remainder: seed a fresh vertex from side 1.
+			for v := 0; v < n; v++ {
+				if side[v] == 1 {
+					best = int32(v)
+					break
+				}
+			}
+			if best == -1 {
+				break
+			}
+		}
+		delete(frontier, best)
+		side[best] = 0
+		grown += w.vw[best]
+		addFrontier(int(best))
+	}
+	return side
+}
+
+// gainEntry is a lazy max-heap entry: stale entries (whose gain no longer
+// matches the vertex's current gain, or whose vertex is locked) are skipped
+// on pop. Lazy invalidation keeps updates O(log n) without an indexed heap.
+type gainEntry struct {
+	v    int32
+	gain int64
+}
+
+type gainHeap []gainEntry
+
+func (h *gainHeap) push(e gainEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].gain >= (*h)[i].gain {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *gainHeap) pop() (gainEntry, bool) {
+	if len(*h) == 0 {
+		return gainEntry{}, false
+	}
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && (*h)[l].gain > (*h)[big].gain {
+			big = l
+		}
+		if r < last && (*h)[r].gain > (*h)[big].gain {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+		i = big
+	}
+	return top, true
+}
+
+// fmRefine runs Fiduccia–Mattheyses passes on a 2-way split: repeatedly move
+// the best-gain movable boundary vertex (balance permitting), maintaining
+// gains incrementally, tracking the best prefix of the move sequence, and
+// rolling back its tail, until a pass yields no improvement.
+func (m Multilevel) fmRefine(w *wgraph, side []int8, targetL int64) {
+	n := w.n()
+	total := w.totalVW()
+	targetR := total - targetL
+	slackL := targetL + int64(float64(targetL)*m.epsilon())
+	slackR := targetR + int64(float64(targetR)*m.epsilon())
+
+	gains := make([]int64, n)
+	locked := make([]bool, n)
+	computeGain := func(v int) int64 {
+		var g int64
+		for _, a := range w.adj[v] {
+			if side[a.to] == side[v] {
+				g -= a.w
+			} else {
+				g += a.w
+			}
+		}
+		return g
+	}
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		var wL int64
+		for v := 0; v < n; v++ {
+			if side[v] == 0 {
+				wL += w.vw[v]
+			}
+		}
+		wR := total - wL
+		var heap gainHeap
+		for v := 0; v < n; v++ {
+			locked[v] = false
+			gains[v] = computeGain(v)
+			// Seed the heap with boundary vertices only; interior
+			// vertices enter when a neighbour's move changes their gain.
+			for _, a := range w.adj[v] {
+				if side[a.to] != side[v] {
+					heap.push(gainEntry{v: int32(v), gain: gains[v]})
+					break
+				}
+			}
+		}
+		type move struct{ v int32 }
+		var seq []move
+		var cum, bestCum int64
+		bestLen := 0
+		var stash []gainEntry
+		for {
+			e, ok := heap.pop()
+			if !ok {
+				break
+			}
+			v := int(e.v)
+			if locked[v] || e.gain != gains[v] {
+				continue // stale entry
+			}
+			// Balance check for moving v to the other side.
+			if side[v] == 0 {
+				if wR+w.vw[v] > slackR {
+					stash = append(stash, e)
+					continue
+				}
+			} else {
+				if wL+w.vw[v] > slackL {
+					stash = append(stash, e)
+					continue
+				}
+			}
+			oldSide := side[v]
+			side[v] ^= 1
+			if oldSide == 0 {
+				wL -= w.vw[v]
+				wR += w.vw[v]
+			} else {
+				wR -= w.vw[v]
+				wL += w.vw[v]
+			}
+			locked[v] = true
+			cum += gains[v]
+			seq = append(seq, move{v: int32(v)})
+			if cum > bestCum {
+				bestCum = cum
+				bestLen = len(seq)
+			}
+			// Moving v from oldSide flips the int/ext role of every
+			// incident edge for its neighbours.
+			for _, a := range w.adj[v] {
+				u := a.to
+				if locked[u] {
+					continue
+				}
+				if side[u] == oldSide {
+					gains[u] += 2 * a.w
+				} else {
+					gains[u] -= 2 * a.w
+				}
+				heap.push(gainEntry{v: u, gain: gains[u]})
+			}
+			// Balance changed; blocked vertices may be movable now.
+			for _, s := range stash {
+				if !locked[s.v] && s.gain == gains[s.v] {
+					heap.push(s)
+				}
+			}
+			stash = stash[:0]
+			// Heuristic cutoff: long negative tails rarely recover.
+			if len(seq)-bestLen > 64 {
+				break
+			}
+		}
+		// Roll back to the best prefix.
+		for i := len(seq) - 1; i >= bestLen; i-- {
+			side[seq[i].v] ^= 1
+		}
+		if bestCum <= 0 {
+			return
+		}
+	}
+}

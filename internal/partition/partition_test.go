@@ -1,0 +1,205 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/gen"
+)
+
+func allPartitioners(seed int64) []Partitioner {
+	return []Partitioner{
+		RoundRobin{},
+		Hash{},
+		BFSGrow{Seed: seed},
+		Multilevel{Seed: seed},
+	}
+}
+
+func TestEveryPartitionerCoversAndBalances(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 2, 9, gen.Config{})
+	for _, p := range allPartitioners(1) {
+		for _, k := range []int{1, 2, 4, 7, 16} {
+			a := p.Partition(g, k)
+			if err := a.Validate(g); err != nil {
+				t.Fatalf("%s k=%d: %v", p.Name(), k, err)
+			}
+			if a.K != k {
+				t.Fatalf("%s: K=%d want %d", p.Name(), a.K, k)
+			}
+			sizes := a.Sizes()
+			total := 0
+			for _, s := range sizes {
+				total += s
+			}
+			if total != g.NumVertices() {
+				t.Fatalf("%s k=%d: assigned %d of %d", p.Name(), k, total, g.NumVertices())
+			}
+			if imb := a.Imbalance(); imb > 1.6 {
+				t.Fatalf("%s k=%d: imbalance %.2f", p.Name(), k, imb)
+			}
+		}
+	}
+}
+
+func TestRoundRobinPerfectBalance(t *testing.T) {
+	g := gen.Path(100)
+	a := RoundRobin{}.Partition(g, 8)
+	for _, s := range a.Sizes() {
+		if s != 12 && s != 13 {
+			t.Fatalf("sizes %v", a.Sizes())
+		}
+	}
+}
+
+func TestMultilevelBeatsRoundRobinOnCut(t *testing.T) {
+	// A community-structured graph: structure-aware partitioning must
+	// produce a much smaller cut than round robin.
+	g, _ := gen.CommunityScaleFree(600, 8, 2, 40, 10, gen.Config{})
+	rr := RoundRobin{}.Partition(g, 8)
+	ml := Multilevel{Seed: 10}.Partition(g, 8)
+	cutRR := rr.CutEdges(g)
+	cutML := ml.CutEdges(g)
+	if cutML*2 >= cutRR {
+		t.Fatalf("multilevel cut %d not clearly below round robin %d", cutML, cutRR)
+	}
+}
+
+func TestMultilevelGridCutReasonable(t *testing.T) {
+	// On a 16x16 grid split in 2, the optimal cut is 16; multilevel should
+	// be within a small factor.
+	g := gen.Grid(16, 16, gen.Config{})
+	a := Multilevel{Seed: 3}.Partition(g, 2)
+	if cut := a.CutEdges(g); cut > 48 {
+		t.Fatalf("grid bisection cut %d, want <= 48", cut)
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 2, 11, gen.Config{})
+	a := Multilevel{Seed: 5}.Partition(g, 4)
+	b := Multilevel{Seed: 5}.Partition(g, 4)
+	for v := range a.Part {
+		if a.Part[v] != b.Part[v] {
+			t.Fatalf("nondeterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestPartitionersHandleRemovedVertices(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 2, 12, gen.Config{})
+	g.RemoveVertex(10)
+	g.RemoveVertex(20)
+	for _, p := range allPartitioners(2) {
+		a := p.Partition(g, 4)
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if a.Of(10) != -1 {
+			t.Fatalf("%s assigned removed vertex", p.Name())
+		}
+	}
+}
+
+func TestPartitionSmallerThanK(t *testing.T) {
+	g := gen.Path(3)
+	for _, p := range allPartitioners(3) {
+		a := p.Partition(g, 8)
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestCutEdgesCount(t *testing.T) {
+	g := gen.Path(4) // 0-1-2-3
+	a := NewAssignment(4, 2)
+	a.Part = []int{0, 0, 1, 1}
+	if cut := a.CutEdges(g); cut != 1 {
+		t.Fatalf("cut %d, want 1", cut)
+	}
+}
+
+func TestImbalanceMetric(t *testing.T) {
+	a := NewAssignment(4, 2)
+	a.Part = []int{0, 0, 0, 1}
+	if imb := a.Imbalance(); imb != 1.5 {
+		t.Fatalf("imbalance %.2f, want 1.5", imb)
+	}
+}
+
+func TestBFSGrowContiguity(t *testing.T) {
+	// On a path, BFS-grown parts should have a near-minimal cut (k-1-ish).
+	g := gen.Path(64)
+	a := BFSGrow{Seed: 4}.Partition(g, 4)
+	if cut := a.CutEdges(g); cut > 8 {
+		t.Fatalf("path cut %d with BFS growing", cut)
+	}
+}
+
+// Property: multilevel partitions cover all vertices with bounded imbalance
+// and never produce an invalid part, for random graphs and k.
+func TestPropertyMultilevelValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		g := gen.ErdosRenyiM(n, 2*n, rng.Int63(), gen.Config{MaxWeight: 4})
+		k := 1 + rng.Intn(10)
+		a := Multilevel{Seed: rng.Int63()}.Partition(g, k)
+		if a.Validate(g) != nil {
+			return false
+		}
+		// Total assigned equals n.
+		total := 0
+		for _, s := range a.Sizes() {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var sinkAssign Assignment
+
+func BenchmarkMultilevel(b *testing.B) {
+	g := gen.BarabasiAlbert(2000, 2, 13, gen.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkAssign = Multilevel{Seed: int64(i)}.Partition(g, 16)
+	}
+}
+
+func BenchmarkBFSGrow(b *testing.B) {
+	g := gen.BarabasiAlbert(2000, 2, 13, gen.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkAssign = BFSGrow{Seed: int64(i)}.Partition(g, 16)
+	}
+}
+
+func TestMultilevelWeightByDegree(t *testing.T) {
+	// A hub-heavy graph: degree balance should put fewer vertices in the
+	// hub's part than plain vertex balance would.
+	g := gen.BarabasiAlbert(600, 3, 21, gen.Config{})
+	a := Multilevel{Seed: 21, WeightByDegree: true}.Partition(g, 4)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Total degree per part should be near-balanced.
+	degPerPart := make([]int, 4)
+	total := 0
+	for _, v := range g.Vertices() {
+		d := g.Degree(v)
+		degPerPart[a.Of(v)] += d
+		total += d
+	}
+	ideal := float64(total) / 4
+	for p, d := range degPerPart {
+		if ratio := float64(d) / ideal; ratio > 1.25 || ratio < 0.75 {
+			t.Fatalf("part %d degree share %.2f of ideal (parts %v)", p, ratio, degPerPart)
+		}
+	}
+}

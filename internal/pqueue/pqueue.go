@@ -1,0 +1,151 @@
+// Package pqueue provides an indexed binary min-heap keyed by int64
+// priorities, supporting DecreaseKey, as required by Dijkstra's algorithm in
+// the initial-approximation phase.
+//
+// Items are dense non-negative int32 identifiers (vertex IDs); the heap keeps
+// a position index per item so DecreaseKey is O(log n) without allocation.
+package pqueue
+
+// Heap is an indexed binary min-heap over items 0..capacity-1.
+// The zero value is not usable; call New.
+type Heap struct {
+	items []int32 // heap order: items[i] is the item at heap position i
+	prio  []int64 // prio[item] is the item's current priority
+	pos   []int32 // pos[item] is the item's heap position, -1 if absent
+}
+
+// New returns an empty heap able to hold items 0..capacity-1.
+func New(capacity int) *Heap {
+	h := &Heap{
+		items: make([]int32, 0, capacity),
+		prio:  make([]int64, capacity),
+		pos:   make([]int32, capacity),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Reset empties the heap in O(len) without reallocating.
+func (h *Heap) Reset() {
+	for _, it := range h.items {
+		h.pos[it] = -1
+	}
+	h.items = h.items[:0]
+}
+
+// Contains reports whether item is in the heap.
+func (h *Heap) Contains(item int32) bool { return h.pos[item] >= 0 }
+
+// Priority returns the current priority of item, which must be in the heap.
+func (h *Heap) Priority(item int32) int64 { return h.prio[item] }
+
+// Push inserts item with the given priority. It panics if item is already
+// present (use DecreaseKey) — that always indicates a caller bug.
+func (h *Heap) Push(item int32, priority int64) {
+	if h.pos[item] >= 0 {
+		panic("pqueue: Push of item already in heap")
+	}
+	h.prio[item] = priority
+	h.pos[item] = int32(len(h.items))
+	h.items = append(h.items, item)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum item and priority without removing it.
+// It panics on an empty heap.
+func (h *Heap) Peek() (item int32, priority int64) {
+	if len(h.items) == 0 {
+		panic("pqueue: Peek on empty heap")
+	}
+	return h.items[0], h.prio[h.items[0]]
+}
+
+// Pop removes and returns the item with the minimum priority.
+// It panics on an empty heap.
+func (h *Heap) Pop() (item int32, priority int64) {
+	if len(h.items) == 0 {
+		panic("pqueue: Pop from empty heap")
+	}
+	top := h.items[0]
+	pr := h.prio[top]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, pr
+}
+
+// DecreaseKey lowers the priority of an item already in the heap. It panics
+// if the item is absent or the new priority is larger than the current one.
+func (h *Heap) DecreaseKey(item int32, priority int64) {
+	p := h.pos[item]
+	if p < 0 {
+		panic("pqueue: DecreaseKey of item not in heap")
+	}
+	if priority > h.prio[item] {
+		panic("pqueue: DecreaseKey would increase priority")
+	}
+	h.prio[item] = priority
+	h.up(int(p))
+}
+
+// PushOrDecrease inserts item, or lowers its priority if already present and
+// the new priority is smaller. It reports whether the heap changed. This is
+// the single operation Dijkstra's relaxation needs.
+func (h *Heap) PushOrDecrease(item int32, priority int64) bool {
+	p := h.pos[item]
+	if p < 0 {
+		h.Push(item, priority)
+		return true
+	}
+	if priority < h.prio[item] {
+		h.prio[item] = priority
+		h.up(int(p))
+		return true
+	}
+	return false
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[h.items[parent]] <= h.prio[h.items[i]] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.prio[h.items[l]] < h.prio[h.items[small]] {
+			small = l
+		}
+		if r < n && h.prio[h.items[r]] < h.prio[h.items[small]] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = int32(i)
+	h.pos[h.items[j]] = int32(j)
+}

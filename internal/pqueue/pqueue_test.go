@@ -1,0 +1,164 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	h := New(10)
+	h.Push(3, 30)
+	h.Push(1, 10)
+	h.Push(2, 20)
+	for _, want := range []int32{1, 2, 3} {
+		item, _ := h.Pop()
+		if item != want {
+			t.Fatalf("pop order: got %d, want %d", item, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len %d after draining", h.Len())
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(4)
+	h.Push(0, 100)
+	h.Push(1, 50)
+	h.DecreaseKey(0, 10)
+	if item, pr := h.Pop(); item != 0 || pr != 10 {
+		t.Fatalf("got %d/%d, want 0/10", item, pr)
+	}
+}
+
+func TestDecreaseKeyPanicsOnIncrease(t *testing.T) {
+	h := New(2)
+	h.Push(0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.DecreaseKey(0, 50)
+}
+
+func TestPushPanicsOnDuplicate(t *testing.T) {
+	h := New(2)
+	h.Push(0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Push(0, 7)
+}
+
+func TestPeek(t *testing.T) {
+	h := New(4)
+	h.Push(2, 20)
+	h.Push(1, 10)
+	item, pr := h.Peek()
+	if item != 1 || pr != 10 {
+		t.Fatalf("peek %d/%d", item, pr)
+	}
+	if h.Len() != 2 {
+		t.Fatal("peek consumed an item")
+	}
+}
+
+func TestPeekPanicsWhenEmpty(t *testing.T) {
+	h := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Peek()
+}
+
+func TestPopPanicsWhenEmpty(t *testing.T) {
+	h := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Pop()
+}
+
+func TestPushOrDecrease(t *testing.T) {
+	h := New(3)
+	if !h.PushOrDecrease(1, 10) {
+		t.Fatal("insert reported no change")
+	}
+	if h.PushOrDecrease(1, 20) {
+		t.Fatal("larger priority reported change")
+	}
+	if !h.PushOrDecrease(1, 5) {
+		t.Fatal("decrease reported no change")
+	}
+	if _, pr := h.Pop(); pr != 5 {
+		t.Fatalf("priority %d, want 5", pr)
+	}
+}
+
+func TestContainsAndPriority(t *testing.T) {
+	h := New(3)
+	h.Push(2, 7)
+	if !h.Contains(2) || h.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	if h.Priority(2) != 7 {
+		t.Fatalf("Priority %d", h.Priority(2))
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(4)
+	h.Push(0, 1)
+	h.Push(1, 2)
+	h.Reset()
+	if h.Len() != 0 || h.Contains(0) || h.Contains(1) {
+		t.Fatal("Reset incomplete")
+	}
+	h.Push(0, 9) // must not panic as duplicate
+	if h.Len() != 1 {
+		t.Fatal("push after reset failed")
+	}
+}
+
+// Property: popping yields priorities in non-decreasing order for any
+// sequence of pushes and decreases.
+func TestPropertyHeapOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := New(n)
+		want := make([]int64, 0, n)
+		cur := make(map[int32]int64)
+		for i := 0; i < 3*n; i++ {
+			item := int32(rng.Intn(n))
+			pr := int64(rng.Intn(1000))
+			if old, ok := cur[item]; !ok || pr < old {
+				h.PushOrDecrease(item, pr)
+				cur[item] = pr
+			}
+		}
+		for _, v := range cur {
+			want = append(want, v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, w := range want {
+			_, pr := h.Pop()
+			if pr != w {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sssp
+
+import (
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+	"aacc/internal/pqueue"
+)
+
+// BidirectionalDijkstra answers one point-to-point shortest-path query by
+// searching simultaneously from both endpoints and stopping when the two
+// frontiers certify the best meeting point — typically touching O(√ of the
+// vertices a full Dijkstra would settle). On undirected graphs the backward
+// search uses the same adjacency. Returns Inf when t is unreachable.
+func BidirectionalDijkstra(g *graph.Graph, s, t graph.ID) int32 {
+	if s == t {
+		return 0
+	}
+	n := g.NumIDs()
+	fwd := newSearch(n, s)
+	bwd := newSearch(n, t)
+	best := int64(dv.Inf)
+	for fwd.heap.Len() > 0 || bwd.heap.Len() > 0 {
+		// Termination first: once the sum of both frontier minima reaches
+		// the best known meeting, no undiscovered meeting can improve it.
+		// (The check must precede the pop — a popped-but-unrelaxed vertex
+		// leaves its improvements invisible to the frontier minima.)
+		if fwd.heap.Len() > 0 && bwd.heap.Len() > 0 {
+			_, df := fwd.heap.Peek()
+			_, db := bwd.heap.Peek()
+			if df+db >= best {
+				break
+			}
+		}
+		// Alternate by smaller frontier head.
+		var cur, other *search
+		switch {
+		case fwd.heap.Len() == 0:
+			cur, other = bwd, fwd
+		case bwd.heap.Len() == 0:
+			cur, other = fwd, bwd
+		default:
+			_, df := fwd.heap.Peek()
+			_, db := bwd.heap.Peek()
+			if df <= db {
+				cur, other = fwd, bwd
+			} else {
+				cur, other = bwd, fwd
+			}
+		}
+		v, d := cur.heap.Pop()
+		if int64(cur.dist[v]) < d {
+			continue
+		}
+		cur.settled[v] = true
+		if other.dist[v] != dv.Inf {
+			if sum := d + int64(other.dist[v]); sum < best {
+				best = sum
+			}
+		}
+		for _, e := range g.Neighbors(v) {
+			nd := d + int64(e.W)
+			if nd < int64(cur.dist[e.To]) {
+				cur.dist[e.To] = int32(nd)
+				cur.heap.PushOrDecrease(e.To, nd)
+				if other.dist[e.To] != dv.Inf {
+					if sum := nd + int64(other.dist[e.To]); sum < best {
+						best = sum
+					}
+				}
+			}
+		}
+	}
+	if best >= int64(dv.Inf) {
+		return dv.Inf
+	}
+	return int32(best)
+}
+
+type search struct {
+	dist    []int32
+	settled []bool
+	heap    *pqueue.Heap
+}
+
+func newSearch(n int, src graph.ID) *search {
+	s := &search{
+		dist:    make([]int32, n),
+		settled: make([]bool, n),
+		heap:    pqueue.New(n),
+	}
+	for i := range s.dist {
+		s.dist[i] = dv.Inf
+	}
+	s.dist[src] = 0
+	s.heap.Push(src, 0)
+	return s
+}

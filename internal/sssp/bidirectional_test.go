@@ -1,0 +1,62 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func TestBidirectionalPath(t *testing.T) {
+	g := gen.Path(10)
+	if d := BidirectionalDijkstra(g, 0, 9); d != 9 {
+		t.Fatalf("d(0,9) = %d", d)
+	}
+	if d := BidirectionalDijkstra(g, 4, 4); d != 0 {
+		t.Fatalf("d(4,4) = %d", d)
+	}
+}
+
+func TestBidirectionalUnreachable(t *testing.T) {
+	g := gen.Path(4)
+	g.AddVertex()
+	if d := BidirectionalDijkstra(g, 0, 4); d != Inf {
+		t.Fatalf("d to isolated vertex = %d", d)
+	}
+}
+
+func TestBidirectionalWeightedDetour(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 3, 10)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 2)
+	if d := BidirectionalDijkstra(g, 0, 3); d != 6 {
+		t.Fatalf("d(0,3) = %d, want 6", d)
+	}
+}
+
+// Property: bidirectional search equals full Dijkstra on random graphs and
+// random pairs.
+func TestPropertyBidirectionalMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		g := gen.ErdosRenyiM(n, 2*n, rng.Int63(), gen.Config{MaxWeight: int32(1 + rng.Intn(8))})
+		for k := 0; k < 15; k++ {
+			s := graph.ID(rng.Intn(n))
+			tt := graph.ID(rng.Intn(n))
+			want := Dijkstra(g, s)[tt]
+			if got := BidirectionalDijkstra(g, s, tt); got != want {
+				t.Logf("seed %d: d(%d,%d) = %d, want %d", seed, s, tt, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(18))}); err != nil {
+		t.Fatal(err)
+	}
+}

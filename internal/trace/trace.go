@@ -1,0 +1,175 @@
+// Package trace provides Tracer sinks for the engine's observability hook
+// (core.Options.Tracer): a CSV timeline of RC steps, a JSONL event stream,
+// and a multiplexer. Traces are how long-running dynamic analyses are
+// monitored in practice — the anytime property means the trace doubles as a
+// quality log.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"aacc/internal/cluster"
+	"aacc/internal/core"
+)
+
+// CSV writes one row per RC step:
+//
+//	step,messages,rows_sent,rows_changed,converged,sim_compute_ms,sim_comm_ms,bytes
+//
+// plus comment lines (# kind: details) for dynamic events. Safe for the
+// engine's single-goroutine tracing; the mutex also permits shared use.
+type CSV struct {
+	mu     sync.Mutex
+	w      io.Writer
+	header bool
+	err    error
+}
+
+// NewCSV returns a CSV tracer writing to w.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: w} }
+
+// Err returns the first write error, if any.
+func (c *CSV) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// StepDone implements core.Tracer.
+func (c *CSV) StepDone(rep core.StepReport, st cluster.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if !c.header {
+		c.header = true
+		if _, err := fmt.Fprintln(c.w, "step,messages,rows_sent,rows_changed,converged,sim_compute_ms,sim_comm_ms,bytes"); err != nil {
+			c.err = err
+			return
+		}
+	}
+	_, c.err = fmt.Fprintf(c.w, "%d,%d,%d,%d,%t,%.3f,%.3f,%d\n",
+		rep.Step, rep.MessagesSent, rep.RowsSent, rep.RowsChanged, rep.Converged,
+		float64(st.SimCompute)/float64(time.Millisecond),
+		float64(st.SimComm)/float64(time.Millisecond),
+		st.BytesSent)
+}
+
+// Event implements core.Tracer.
+func (c *CSV) Event(kind, details string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, "# %s: %s\n", kind, details)
+}
+
+// JSONL writes one JSON object per line: {"type":"step",...} and
+// {"type":"event",...}.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL tracer writing to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+type jsonStep struct {
+	Type         string  `json:"type"`
+	Step         int     `json:"step"`
+	Messages     int     `json:"messages"`
+	RowsSent     int     `json:"rows_sent"`
+	RowsChanged  int     `json:"rows_changed"`
+	Converged    bool    `json:"converged"`
+	SimComputeMS float64 `json:"sim_compute_ms"`
+	SimCommMS    float64 `json:"sim_comm_ms"`
+	Bytes        int64   `json:"bytes"`
+}
+
+type jsonEvent struct {
+	Type    string `json:"type"`
+	Kind    string `json:"kind"`
+	Details string `json:"details"`
+}
+
+// StepDone implements core.Tracer.
+func (j *JSONL) StepDone(rep core.StepReport, st cluster.Stats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonStep{
+		Type:         "step",
+		Step:         rep.Step,
+		Messages:     rep.MessagesSent,
+		RowsSent:     rep.RowsSent,
+		RowsChanged:  rep.RowsChanged,
+		Converged:    rep.Converged,
+		SimComputeMS: float64(st.SimCompute) / float64(time.Millisecond),
+		SimCommMS:    float64(st.SimComm) / float64(time.Millisecond),
+		Bytes:        st.BytesSent,
+	})
+}
+
+// Event implements core.Tracer.
+func (j *JSONL) Event(kind, details string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonEvent{Type: "event", Kind: kind, Details: details})
+}
+
+// Multi fans tracer calls out to several sinks.
+type Multi []core.Tracer
+
+// StepDone implements core.Tracer.
+func (m Multi) StepDone(rep core.StepReport, st cluster.Stats) {
+	for _, t := range m {
+		t.StepDone(rep, st)
+	}
+}
+
+// Event implements core.Tracer.
+func (m Multi) Event(kind, details string) {
+	for _, t := range m {
+		t.Event(kind, details)
+	}
+}
+
+// Collector retains every step report and event in memory (tests, tooling).
+type Collector struct {
+	mu     sync.Mutex
+	Steps  []core.StepReport
+	Events []string
+}
+
+// StepDone implements core.Tracer.
+func (c *Collector) StepDone(rep core.StepReport, _ cluster.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Steps = append(c.Steps, rep)
+}
+
+// Event implements core.Tracer.
+func (c *Collector) Event(kind, details string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Events = append(c.Events, kind+": "+details)
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aacc/internal/core"
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+func runTraced(t *testing.T, tr core.Tracer) {
+	t.Helper()
+	g := gen.BarabasiAlbert(80, 2, 3, gen.Config{})
+	e, err := core.New(g, core.Options{P: 4, Seed: 3, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: 0, V: 70, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVTrace(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCSV(&buf)
+	runTraced(t, c)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "step,messages") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "# edge-add: 1 edges applied") {
+		t.Fatalf("missing event comment:\n%s", out)
+	}
+	// Last data row must be converged.
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "true") {
+		t.Fatalf("final row not converged: %s", last)
+	}
+}
+
+func TestJSONLTrace(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	runTraced(t, j)
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	var steps, events int
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		switch m["type"] {
+		case "step":
+			steps++
+			if _, ok := m["sim_compute_ms"].(float64); !ok {
+				t.Fatalf("step without timing: %v", m)
+			}
+		case "event":
+			events++
+		default:
+			t.Fatalf("unknown record %v", m)
+		}
+	}
+	if steps < 2 || events < 1 {
+		t.Fatalf("steps=%d events=%d", steps, events)
+	}
+}
+
+func TestMultiAndCollector(t *testing.T) {
+	var buf bytes.Buffer
+	col := &Collector{}
+	runTraced(t, Multi{NewCSV(&buf), col})
+	if len(col.Steps) < 2 {
+		t.Fatalf("collector has %d steps", len(col.Steps))
+	}
+	if len(col.Events) == 0 || !strings.HasPrefix(col.Events[0], "edge-add") {
+		t.Fatalf("collector events %v", col.Events)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("multi did not reach the CSV sink")
+	}
+	// Steps are sequential.
+	for i := 1; i < len(col.Steps); i++ {
+		if col.Steps[i].Step != col.Steps[i-1].Step+1 {
+			t.Fatalf("non-sequential steps: %v", col.Steps)
+		}
+	}
+}
+
+func TestTracerSeesAllDynamicKinds(t *testing.T) {
+	col := &Collector{}
+	g := gen.BarabasiAlbert(80, 2, 5, gen.Config{})
+	e, err := core.New(g, core.Options{P: 4, Seed: 5, Tracer: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: 0, V: 60, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyEdgeDeletions([][2]graph.ID{{0, 60}}); err != nil {
+		t.Fatal(err)
+	}
+	batch := &core.VertexBatch{Count: 1, External: []core.AttachEdge{{New: 0, To: 4, W: 1}}}
+	if _, err := e.ApplyVertexAdditions(batch, &core.RoundRobinPS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Repartition(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FailProcessor(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"edge-add", "edge-delete", "vertex-add", "repartition", "failure"}
+	for _, kind := range want {
+		found := false
+		for _, ev := range col.Events {
+			if strings.HasPrefix(ev, kind) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", kind, col.Events)
+		}
+	}
+}

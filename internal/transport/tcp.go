@@ -1,0 +1,256 @@
+// Package transport provides real byte transports for the simulated
+// cluster's exchanges. The paper ran MPI over 1 Gb/s Ethernet; TCPLoopback
+// reproduces that substrate in-process: every simulated processor owns a TCP
+// listener on 127.0.0.1 and a full mesh of connections carries the framed
+// boundary-DV messages through the kernel's network stack, so serialisation
+// and wire sizes are real rather than estimated.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPLoopback is a full mesh of loopback TCP connections between n
+// simulated processors. It implements cluster.Transport.
+type TCPLoopback struct {
+	n int
+	// conns[src][dst] is the directed connection src uses to reach dst.
+	conns [][]net.Conn
+	// inbox[dst][src] holds the connection dst reads frames from src on
+	// (the accept-side ends of conns[src][dst]).
+	inbox [][]net.Conn
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewTCPLoopback establishes the n×(n−1) directed connection mesh. It binds
+// n ephemeral listeners on 127.0.0.1; each processor dials every other and
+// identifies itself with a one-time hello frame carrying its rank.
+func NewTCPLoopback(n int) (*TCPLoopback, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need at least 1 processor, got %d", n)
+	}
+	t := &TCPLoopback{n: n}
+	t.conns = make([][]net.Conn, n)
+	t.inbox = make([][]net.Conn, n)
+	for i := range t.conns {
+		t.conns[i] = make([]net.Conn, n)
+		t.inbox[i] = make([]net.Conn, n)
+	}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen for processor %d: %w", i, err)
+		}
+		listeners[i] = l
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*n)
+	// Accept side: processor dst accepts n-1 dials, each prefixed with the
+	// dialer's rank.
+	for dst := 0; dst < n; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			for k := 0; k < n-1; k++ {
+				conn, err := listeners[dst].Accept()
+				if err != nil {
+					errs <- fmt.Errorf("transport: accept on %d: %w", dst, err)
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					errs <- fmt.Errorf("transport: hello on %d: %w", dst, err)
+					return
+				}
+				src := int(binary.LittleEndian.Uint32(hello[:]))
+				if src < 0 || src >= n || src == dst {
+					errs <- fmt.Errorf("transport: bad hello rank %d on %d", src, dst)
+					return
+				}
+				t.inbox[dst][src] = conn
+			}
+		}(dst)
+	}
+	// Dial side.
+	for src := 0; src < n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for dst := 0; dst < n; dst++ {
+				if dst == src {
+					continue
+				}
+				conn, err := net.Dial("tcp", listeners[dst].Addr().String())
+				if err != nil {
+					errs <- fmt.Errorf("transport: dial %d->%d: %w", src, dst, err)
+					return
+				}
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(src))
+				if _, err := conn.Write(hello[:]); err != nil {
+					errs <- fmt.Errorf("transport: hello %d->%d: %w", src, dst, err)
+					return
+				}
+				t.conns[src][dst] = conn
+			}
+		}(src)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// RoundTrip implements cluster.Transport: writes every frame on its
+// directed connection and reads every frame back on the receiving side.
+// Senders run concurrently (kernel socket buffers decouple them); each
+// receiver drains its incoming connections in source order, so the result
+// is deterministic.
+func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
+	if len(frames) != t.n {
+		return nil, fmt.Errorf("transport: round trip needs %d rows, got %d", t.n, len(frames))
+	}
+	in := make([][][]byte, t.n)
+	for dst := range in {
+		in[dst] = make([][]byte, t.n)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*t.n)
+	// Senders: each source writes its outgoing frames, then a per-round
+	// terminator (length 0xFFFFFFFF) on every connection so receivers know
+	// the round is over even when nothing was sent.
+	for src := 0; src < t.n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for dst := 0; dst < t.n; dst++ {
+				if dst == src {
+					continue
+				}
+				conn := t.conns[src][dst]
+				var frame []byte
+				if frames[src] != nil && dst < len(frames[src]) {
+					frame = frames[src][dst]
+				}
+				if frame != nil {
+					if err := writeFrame(conn, frame); err != nil {
+						errs <- fmt.Errorf("transport: send %d->%d: %w", src, dst, err)
+						return
+					}
+				}
+				if err := writeTerminator(conn); err != nil {
+					errs <- fmt.Errorf("transport: terminate %d->%d: %w", src, dst, err)
+					return
+				}
+			}
+		}(src)
+	}
+	// Receivers: drain each incoming connection until its terminator.
+	for dst := 0; dst < t.n; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			for src := 0; src < t.n; src++ {
+				if src == dst {
+					continue
+				}
+				frame, err := readRound(t.inbox[dst][src])
+				if err != nil {
+					errs <- fmt.Errorf("transport: recv %d->%d: %w", src, dst, err)
+					return
+				}
+				in[dst][src] = frame
+			}
+		}(dst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	return in, nil
+}
+
+const terminator = ^uint32(0)
+
+func writeFrame(conn net.Conn, frame []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+func writeTerminator(conn net.Conn) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], terminator)
+	_, err := conn.Write(hdr[:])
+	return err
+}
+
+// readRound reads at most one frame followed by the round terminator,
+// returning the frame (nil if the round carried nothing).
+func readRound(conn net.Conn) ([]byte, error) {
+	var frame []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return nil, err
+		}
+		size := binary.LittleEndian.Uint32(hdr[:])
+		if size == terminator {
+			return frame, nil
+		}
+		if frame != nil {
+			return nil, fmt.Errorf("two frames in one round")
+		}
+		frame = make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close tears the mesh down.
+func (t *TCPLoopback) Close() error {
+	t.closeOnce.Do(func() {
+		for _, row := range t.conns {
+			for _, c := range row {
+				if c != nil {
+					if err := c.Close(); err != nil && t.closeErr == nil {
+						t.closeErr = err
+					}
+				}
+			}
+		}
+		for _, row := range t.inbox {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+	return t.closeErr
+}
+
+// N returns the mesh size.
+func (t *TCPLoopback) N() int { return t.n }
