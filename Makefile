@@ -1,0 +1,26 @@
+# Developer entry points. CI runs the same three checks as `make check`.
+
+.PHONY: build vet test race check bench-baseline clean
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+check: build vet race
+
+# Emit BENCH_core.json from the root benchmark suite (bench_test.go).
+# Override BENCHTIME for a stable baseline, e.g. `make bench-baseline BENCHTIME=2s`.
+BENCHTIME ?= 1x
+bench-baseline:
+	sh scripts/bench_baseline.sh $(BENCHTIME)
+
+clean:
+	rm -f BENCH_core.json

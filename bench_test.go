@@ -21,6 +21,7 @@ import (
 	"aacc/internal/kcore"
 	"aacc/internal/logp"
 	"aacc/internal/partition"
+	"aacc/internal/runtime"
 	"aacc/internal/sssp"
 	"aacc/internal/workload"
 )
@@ -384,9 +385,9 @@ func BenchmarkAblationSchedule(b *testing.B) {
 // exchange vs the real TCP loopback wire (serialisation + kernel sockets).
 func BenchmarkAblationWire(b *testing.B) {
 	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
-	run := func(b *testing.B, wire bool) {
+	run := func(b *testing.B, rt runtime.Kind) {
 		for i := 0; i < b.N; i++ {
-			e, err := core.New(g.Clone(), core.Options{P: benchP, Seed: benchSeed, Wire: wire})
+			e, err := core.New(g.Clone(), core.Options{P: benchP, Seed: benchSeed, Runtime: rt})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -394,8 +395,8 @@ func BenchmarkAblationWire(b *testing.B) {
 			e.Close()
 		}
 	}
-	b.Run("InMemory", func(b *testing.B) { run(b, false) })
-	b.Run("TCPWire", func(b *testing.B) { run(b, true) })
+	b.Run("InMemory", func(b *testing.B) { run(b, runtime.Sim) })
+	b.Run("TCPWire", func(b *testing.B) { run(b, runtime.WireTCP) })
 }
 
 // BenchmarkAblationCheckpoint measures checkpoint serialisation and restore.

@@ -9,7 +9,7 @@
 //	aacc -graph web.edges -p 8 -harmonic
 //	aacc -gen community -n 2000 -anytime
 //	aacc -changes stream.log -eager-deletions
-//	aacc -wire            # exchanges over a real TCP loopback mesh
+//	aacc -runtime tcp     # exchanges over a real TCP loopback mesh
 package main
 
 import (

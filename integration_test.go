@@ -16,6 +16,7 @@ import (
 	"aacc/internal/core"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
+	"aacc/internal/runtime"
 	"aacc/internal/sssp"
 	"aacc/internal/workload"
 )
@@ -152,7 +153,7 @@ func TestIntegrationFullLifecycle(t *testing.T) {
 // wire: dynamics + convergence with serialised exchanges.
 func TestIntegrationWireLifecycle(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 2, 321, gen.Config{MaxWeight: 2})
-	e, err := core.New(g, core.Options{P: 6, Seed: 321, Wire: true})
+	e, err := core.New(g, core.Options{P: 6, Seed: 321, Runtime: runtime.WireTCP})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"aacc/internal/graph"
 	"aacc/internal/metrics"
 	"aacc/internal/partition"
+	"aacc/internal/runtime"
 	"aacc/internal/trace"
 )
 
@@ -100,7 +101,8 @@ func Analysis(args []string, stdout io.Writer) error {
 		partName  = fs.String("partitioner", "multilevel", "DD partitioner: multilevel, bfsgrow, roundrobin, hash")
 		changes   = fs.String("changes", "", "replay a change log (see internal/changelog) during the analysis")
 		eagerDel  = fs.Bool("eager-deletions", false, "barrier-free (eager) deletion mode for the change log")
-		wire      = fs.Bool("wire", false, "exchange boundary DVs over a real TCP loopback mesh")
+		rtName    = fs.String("runtime", "sim", "execution runtime: sim (in-process) or tcp (boundary DVs over a real TCP loopback mesh)")
+		wire      = fs.Bool("wire", false, "deprecated alias for -runtime tcp")
 		traceCSV  = fs.String("trace", "", "write a CSV step/event trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -114,6 +116,13 @@ func Analysis(args []string, stdout io.Writer) error {
 	part, err := PickPartitioner(*partName, *seed)
 	if err != nil {
 		return err
+	}
+	rtKind, err := runtime.ParseKind(*rtName)
+	if err != nil {
+		return err
+	}
+	if *wire {
+		rtKind = runtime.WireTCP
 	}
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; %d simulated processors\n",
 		g.NumVertices(), g.NumEdges(), *p)
@@ -134,7 +143,7 @@ func Analysis(args []string, stdout io.Writer) error {
 		tracer = csv
 	}
 	wall := time.Now()
-	e, err := core.New(g, core.Options{P: *p, Seed: *seed, Partitioner: part, Wire: *wire, Tracer: tracer})
+	e, err := core.New(g, core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer})
 	if err != nil {
 		return err
 	}

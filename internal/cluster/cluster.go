@@ -1,13 +1,17 @@
-// Package cluster provides the simulated distributed runtime the engine runs
-// on: P logical processors executed by a bounded goroutine pool, a
-// personalised all-to-all exchange matching the paper's one-message-at-a-time
-// communication schedule, a binomial-tree broadcast, and full traffic
-// accounting (bytes, messages, modelled LogP time, measured compute time).
+// Package cluster provides the in-process simulated machine the engine's
+// execution runtimes are built from: P logical processors executed by a
+// bounded goroutine pool, a personalised all-to-all exchange matching the
+// paper's one-message-at-a-time communication schedule, a binomial-tree
+// broadcast, and full traffic accounting (bytes, messages, modelled LogP
+// time, measured compute time).
 //
 // The paper ran 16 MPI processes on a Linux cluster; here the same message
 // pattern is executed in-process. Payloads are handed over by reference (no
 // serialisation), but every exchange declares its wire size so the LogP
-// model prices it exactly as the cluster network would.
+// model prices it exactly as the cluster network would. Cluster is the
+// reference implementation of runtime.Runtime (internal/runtime); the wire
+// runtime composes a Cluster with a WireCodec and a byte transport to carry
+// the same exchanges over real sockets.
 package cluster
 
 import (
@@ -32,18 +36,9 @@ type WireCodec interface {
 	Decode(frame []byte) (any, error)
 }
 
-// Transport carries one personalised all-to-all round of raw frames between
-// the simulated processors over a real byte substrate (e.g. TCP loopback,
-// standing in for the paper's MPI-over-Ethernet). frames[src][dst] is the
-// encoded payload from src to dst (nil = no message); the result is indexed
-// [dst][src]. Implementations may deliver frames in any order but must
-// deliver every frame exactly once per round.
-type Transport interface {
-	RoundTrip(frames [][][]byte) ([][][]byte, error)
-	Close() error
-}
-
-// Stats aggregates the cluster's accounting counters.
+// Stats aggregates the cluster's accounting counters. Every runtime
+// implementation reports this same schema, so sim-mode and wire-mode
+// analyses emit identical observability records.
 type Stats struct {
 	// SimCompute is modelled parallel compute time: per Parallel call, the
 	// maximum of the per-processor measured times.
@@ -62,17 +57,12 @@ type Stats struct {
 // SimTotal is the modelled total parallel runtime.
 func (s Stats) SimTotal() time.Duration { return s.SimCompute + s.SimComm }
 
-// Cluster is a simulated P-processor machine.
+// Cluster is a simulated P-processor machine exchanging payloads by
+// reference. It is the in-process execution runtime (runtime.Sim).
 type Cluster struct {
 	p     int
 	model logp.Params
 	pool  int
-
-	// Optional wire mode: payloads are serialised with codec and carried
-	// by transport, so exchanged bytes are real measured frame sizes
-	// rather than caller estimates.
-	transport Transport
-	codec     WireCodec
 
 	mu    sync.Mutex
 	stats Stats
@@ -94,19 +84,6 @@ func New(p int, model logp.Params) *Cluster {
 	return &Cluster{p: p, model: model, pool: pool}
 }
 
-// EnableWire switches the cluster's exchanges onto a real byte transport:
-// every payload is serialised by codec, carried by tr, and decoded on the
-// receiving side, with accounting based on the actual frame sizes. Must be
-// called before the first Exchange. The caller retains ownership of tr
-// (Close it after the analysis).
-func (c *Cluster) EnableWire(tr Transport, codec WireCodec) {
-	if tr == nil || codec == nil {
-		panic("cluster: EnableWire needs a transport and a codec")
-	}
-	c.transport = tr
-	c.codec = codec
-}
-
 // P returns the number of simulated processors.
 func (c *Cluster) P() int { return c.p }
 
@@ -126,6 +103,10 @@ func (c *Cluster) ResetStats() {
 	defer c.mu.Unlock()
 	c.stats = Stats{}
 }
+
+// Close releases nothing: the in-process cluster holds no external
+// resources. It exists so Cluster satisfies runtime.Runtime.
+func (c *Cluster) Close() error { return nil }
 
 // Parallel runs fn(proc) for every processor 0..P-1 on the worker pool and
 // waits for all to finish (a BSP superstep's compute phase). The modelled
@@ -172,15 +153,11 @@ func (c *Cluster) Exchange(out [][]*Mail) [][]*Mail {
 	if len(out) != c.p {
 		panic(fmt.Sprintf("cluster: Exchange needs %d rows, got %d", c.p, len(out)))
 	}
-	if c.transport != nil {
-		return c.exchangeWire(out)
-	}
 	in := make([][]*Mail, c.p)
 	for i := range in {
 		in[i] = make([]*Mail, c.p)
 	}
 	sizes := make([][]int, c.p)
-	var bytes, msgs int64
 	for src := range out {
 		sizes[src] = make([]int, c.p)
 		if out[src] == nil {
@@ -195,90 +172,34 @@ func (c *Cluster) Exchange(out [][]*Mail) [][]*Mail {
 			}
 			in[dst][src] = m
 			sizes[src][dst] = m.Bytes
-			bytes += int64(m.Bytes)
-			msgs++
 		}
 	}
-	comm := c.model.AllToAllTime(sizes)
-	c.mu.Lock()
-	c.stats.SimComm += time.Duration(comm * float64(time.Second))
-	c.stats.BytesSent += bytes
-	c.stats.MessagesSent += msgs
-	c.stats.ExchangeRounds++
-	c.mu.Unlock()
+	c.AccountExchange(sizes)
 	return in
 }
 
-// exchangeWire performs an Exchange round over the byte transport: encode,
-// round-trip, decode. Frame sizes — real serialised bytes — feed the LogP
-// pricing and traffic counters. Encode/decode time is charged as compute.
-// Transport or codec failures are programming/environment errors on an
-// in-process loopback and surface as panics, matching Exchange's no-error
-// contract.
-func (c *Cluster) exchangeWire(out [][]*Mail) [][]*Mail {
-	start := time.Now()
-	frames := make([][][]byte, c.p)
-	for src := range frames {
-		frames[src] = make([][]byte, c.p)
-		if out[src] == nil {
-			continue
-		}
-		if len(out[src]) != c.p {
-			panic(fmt.Sprintf("cluster: Exchange row %d has %d columns, want %d", src, len(out[src]), c.p))
-		}
-		for dst, m := range out[src] {
-			if m == nil || src == dst {
-				continue
-			}
-			frame, err := c.codec.Encode(m.Payload)
-			if err != nil {
-				panic(fmt.Sprintf("cluster: encoding %d->%d: %v", src, dst, err))
-			}
-			frames[src][dst] = frame
-		}
-	}
-	inFrames, err := c.transport.RoundTrip(frames)
-	if err != nil {
-		panic(fmt.Sprintf("cluster: transport round trip: %v", err))
-	}
-	in := make([][]*Mail, c.p)
-	sizes := make([][]int, c.p)
+// AccountExchange prices one personalised all-to-all round whose message
+// sizes were sizes[src][dst] bytes (0 = no message) and folds it into the
+// counters. The in-memory Exchange calls it with the callers' size
+// estimates; composing runtimes (the wire runtime) call it with measured
+// frame sizes.
+func (c *Cluster) AccountExchange(sizes [][]int) {
 	var bytes, msgs int64
-	for dst := range in {
-		in[dst] = make([]*Mail, c.p)
-	}
-	for src := range frames {
-		sizes[src] = make([]int, c.p)
-		for dst, frame := range frames[src] {
-			if frame == nil {
-				continue
+	for src := range sizes {
+		for _, n := range sizes[src] {
+			if n > 0 {
+				bytes += int64(n)
+				msgs++
 			}
-			sizes[src][dst] = len(frame)
-			bytes += int64(len(frame))
-			msgs++
-		}
-	}
-	for dst := range inFrames {
-		for src, frame := range inFrames[dst] {
-			if frame == nil {
-				continue
-			}
-			payload, err := c.codec.Decode(frame)
-			if err != nil {
-				panic(fmt.Sprintf("cluster: decoding %d->%d: %v", src, dst, err))
-			}
-			in[dst][src] = &Mail{Payload: payload, Bytes: len(frame)}
 		}
 	}
 	comm := c.model.AllToAllTime(sizes)
 	c.mu.Lock()
-	c.stats.SimCompute += time.Since(start)
 	c.stats.SimComm += time.Duration(comm * float64(time.Second))
 	c.stats.BytesSent += bytes
 	c.stats.MessagesSent += msgs
 	c.stats.ExchangeRounds++
 	c.mu.Unlock()
-	return in
 }
 
 // Broadcast accounts a binomial-tree broadcast of one payload of the given

@@ -6,8 +6,6 @@ import (
 	"io"
 	"sort"
 
-	"aacc/internal/cluster"
-	"aacc/internal/dv"
 	"aacc/internal/graph"
 )
 
@@ -99,11 +97,16 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Engine, error) {
 		opts.MaxSteps = pl.MaxSteps
 	}
 	opts = opts.withDefaults()
+	rt, err := opts.newRuntime()
+	if err != nil {
+		return nil, fmt.Errorf("core: building runtime: %w", err)
+	}
 	e := &Engine{
 		g:    g,
 		opts: opts,
-		cl:   cluster.New(opts.P, opts.Model),
+		rt:   rt,
 	}
+	e.installStrategies()
 	e.width = pl.NumIDs
 	if len(pl.Owner) != pl.NumIDs {
 		return nil, fmt.Errorf("core: checkpoint owner table has %d entries, want %d", len(pl.Owner), pl.NumIDs)
@@ -112,17 +115,7 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Engine, error) {
 	e.step = pl.Step
 	e.procs = make([]*proc, opts.P)
 	for p := range e.procs {
-		e.procs[p] = &proc{
-			id:            p,
-			store:         dv.NewStore(e.width),
-			ext:           make(map[graph.ID][]int32),
-			dirtySend:     make(map[graph.ID]bool),
-			dirtySrc:      make(map[graph.ID]bool),
-			meta:          make(map[graph.ID]*rowState),
-			extPending:    make(map[graph.ID]*extPending),
-			pendingRescan: make(map[graph.ID]map[graph.ID]struct{}),
-			isLocal:       make([]bool, e.width),
-		}
+		e.procs[p] = newProc(p, e.width)
 	}
 	if len(pl.RowIDs) != len(pl.Rows) {
 		return nil, fmt.Errorf("core: checkpoint rows malformed")
@@ -145,7 +138,7 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Engine, error) {
 		}
 	}
 	// No snapshots survive a restore: queue everything for full exchange.
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		sort.Slice(pr.local, func(i, j int) bool { return pr.local[i] < pr.local[j] })
 		for _, v := range pr.local {

@@ -22,9 +22,12 @@ import (
 // all distance vectors through them. Edges that already exist with a weight
 // <= the new one are ignored; a strictly smaller weight is treated as a
 // weight decrease (same relaxation). The engine is left un-converged; run
-// Step/Run to propagate the effects.
+// Step/Run to propagate the effects. On error the batch is rejected whole:
+// no edge is inserted and the distance state is untouched.
 func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
-	applied := make([]graph.EdgeTriple, 0, len(edges))
+	// Validate the entire batch before mutating anything: a mid-batch
+	// rejection must not leave earlier edges inserted but never relaxed
+	// (stale conv, distances unaware of the new edges).
 	for _, ed := range edges {
 		if !e.g.Has(ed.U) || !e.g.Has(ed.V) {
 			return fmt.Errorf("core: edge {%d,%d} references a dead vertex", ed.U, ed.V)
@@ -32,6 +35,12 @@ func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
 		if ed.U == ed.V {
 			return fmt.Errorf("core: self-loop {%d,%d}", ed.U, ed.V)
 		}
+		if ed.W <= 0 {
+			return fmt.Errorf("core: non-positive weight %d on edge {%d,%d}", ed.W, ed.U, ed.V)
+		}
+	}
+	applied := make([]graph.EdgeTriple, 0, len(edges))
+	for _, ed := range edges {
 		if w, ok := e.g.Weight(ed.U, ed.V); ok && w <= ed.W {
 			continue // no shorter than what exists
 		}
@@ -52,7 +61,7 @@ func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
 // every processor through every new edge.
 func (e *Engine) relaxEdgeBatch(edges []graph.EdgeTriple) {
 	endRows := e.broadcastRows(edgeEndpoints(edges))
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		e.procs[p].relaxThroughEdges(e, edges, endRows)
 	})
 }
@@ -81,7 +90,7 @@ func (e *Engine) broadcastRows(ids []graph.ID) map[graph.ID][]int32 {
 			continue
 		}
 		out[v] = row
-		e.cl.Broadcast(o, &cluster.Mail{Payload: v, Bytes: 4 + 4*len(row)})
+		e.rt.Broadcast(o, &cluster.Mail{Payload: v, Bytes: 4 + 4*len(row)})
 	}
 	return out
 }
@@ -151,7 +160,7 @@ func (e *Engine) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
 // prefix-witness columns disappear and supported entries slip through.
 func (e *Engine) invalidateAndReseed(batch []graph.EdgeTriple, endRows map[graph.ID][]int32) {
 	refresh := make([]map[graph.ID]bool, e.opts.P)
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.ensureScratch(e.width)
 		pristine := make([]int32, e.width)
@@ -264,7 +273,7 @@ func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
 		return false
 	}
 	refresh := make([]map[graph.ID]bool, e.opts.P)
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.ensureScratch(e.width)
 		var hit []graph.ID
@@ -420,7 +429,7 @@ func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) 
 	for i, p := range placement {
 		e.owner[ids[i]] = int16(p)
 	}
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		for i, owner := range placement {
 			if owner != p {
@@ -447,7 +456,7 @@ func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) 
 	// Seed each new row with an IA-quality local Dijkstra (the new vertex
 	// joined its owner's local subgraph): one good initial vector instead
 	// of many dribbling refinements across later RC steps.
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.ensureScratch(e.width)
 		for i, owner := range placement {
@@ -469,12 +478,18 @@ func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) 
 // RemoveVertices deletes the given live vertices: all incident edges are
 // removed with the deletion strategy, then the rows, columns and ownership
 // of the vertices are retired. This is the vertex-deletion extension the
-// paper lists as future work.
+// paper lists as future work. The whole batch is validated before anything
+// mutates: a dead or duplicated vertex rejects the batch intact.
 func (e *Engine) RemoveVertices(ids []graph.ID) error {
+	seen := make(map[graph.ID]bool, len(ids))
 	for _, v := range ids {
 		if !e.g.Has(v) {
 			return fmt.Errorf("core: RemoveVertices of dead vertex %d", v)
 		}
+		if seen[v] {
+			return fmt.Errorf("core: RemoveVertices lists vertex %d twice", v)
+		}
+		seen[v] = true
 	}
 	// All incident edges of all doomed vertices go as one joint deletion
 	// batch: one closure-sound sweep instead of one per edge.
@@ -491,27 +506,8 @@ func (e *Engine) RemoveVertices(ids []graph.ID) error {
 		owner := e.Owner(v)
 		e.g.RemoveVertex(v)
 		e.owner[v] = -1
-		e.cl.Parallel(func(p int) {
-			pr := e.procs[p]
-			if p == owner {
-				pr.store.RemoveRow(v)
-				pr.isLocal[v] = false
-				for i, x := range pr.local {
-					if x == v {
-						pr.local = append(pr.local[:i], pr.local[i+1:]...)
-						break
-					}
-				}
-				delete(pr.dirtySend, v)
-				delete(pr.dirtySrc, v)
-				delete(pr.meta, v)
-			}
-			delete(pr.ext, v)
-			delete(pr.extPending, v)
-			delete(pr.pendingRescan, v)
-			// Distances *to* a removed vertex are no longer meaningful;
-			// clear the column so closeness sums skip it cleanly.
-			pr.store.ClearColumn(v)
+		e.rt.Parallel(func(p int) {
+			e.procs[p].retire(v, p == owner)
 		})
 	}
 	e.conv = false
@@ -528,7 +524,7 @@ func (e *Engine) growTo(width int) {
 	for len(e.owner) < width {
 		e.owner = append(e.owner, -1)
 	}
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.store.Grow(width)
 		for v, row := range pr.ext {

@@ -35,8 +35,8 @@ import (
 	"aacc/internal/logp"
 	"aacc/internal/partition"
 	"aacc/internal/pqueue"
+	"aacc/internal/runtime"
 	"aacc/internal/sssp"
-	"aacc/internal/transport"
 )
 
 // Options configures an Engine.
@@ -54,12 +54,21 @@ type Options struct {
 	Seed int64
 	// MaxSteps bounds a single Run call as a safety net. Default 8*P+n.
 	MaxSteps int
-	// Wire runs every recombination exchange over a real TCP loopback
-	// mesh (internal/transport): payloads are serialised with the binary
-	// wire codec and carried through the kernel network stack, standing in
-	// for the paper's MPI-over-Ethernet. Traffic accounting then reflects
-	// measured frame bytes. Close the engine to release the mesh.
-	Wire bool
+	// Runtime selects the execution runtime the engine's phases run on
+	// (internal/runtime). The zero value is runtime.Sim, the in-process
+	// reference-passing cluster; runtime.WireTCP carries every
+	// recombination exchange over a real TCP loopback mesh with the binary
+	// wire codec, standing in for the paper's MPI-over-Ethernet, so
+	// traffic accounting reflects measured frame bytes. Close the engine
+	// to release runtime resources.
+	Runtime runtime.Kind
+	// RuntimeFactory, when non-nil, overrides Runtime: the engine calls it
+	// exactly once at construction to build the runtime it will program
+	// against. This is the plug point for custom backends (alternative
+	// transports, multi-process runtimes); the factory's runtime must
+	// round-trip the engine's exchange payloads (see WireCodec for the
+	// serialised form). The engine takes ownership and Closes it.
+	RuntimeFactory func(p int, model logp.Params) (runtime.Runtime, error)
 	// Tracer, when set, observes every RC step and dynamic event (see
 	// internal/trace for CSV/JSONL sinks). Tracer calls happen on the
 	// orchestration goroutine, never concurrently.
@@ -91,14 +100,23 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	g     *graph.Graph
 	opts  Options
-	cl    *cluster.Cluster
-	wire  *transport.TCPLoopback // non-nil in wire mode; closed by Close
-	owner []int16                // vertex ID -> processor, -1 for dead vertices
+	rt    runtime.Runtime // the execution runtime all phases run on
+	owner []int16         // vertex ID -> processor, -1 for dead vertices
 	procs []*proc
 	width int // current global ID-space size
 	step  int
 	conv  bool
+	// strategies are the per-processor recombination strategies run in the
+	// strategies phase of every Step (the paper's "line 17" hook). Today
+	// the eager-local-refresh ablation registers here; future strategies
+	// join the same pipeline.
+	strategies []stepStrategy
 }
+
+// stepStrategy is one per-processor recombination strategy invoked during
+// the strategies phase of each RC step; it returns how many local rows it
+// changed.
+type stepStrategy func(e *Engine, pr *proc) int
 
 // proc is the per-processor state: the local DV rows, snapshots of external
 // boundary rows, and the dirty bookkeeping that drives delta propagation.
@@ -175,6 +193,15 @@ func (m *boundaryMsg) bytes() int {
 	return b
 }
 
+// newRuntime builds the execution runtime the options select: the factory
+// when given, else the named built-in kind with the engine's binary codec.
+func (o Options) newRuntime() (runtime.Runtime, error) {
+	if o.RuntimeFactory != nil {
+		return o.RuntimeFactory(o.P, o.Model)
+	}
+	return runtime.New(o.Runtime, o.P, o.Model, WireCodec{})
+}
+
 // New builds an engine over g (which the engine takes ownership of and
 // mutates as dynamic changes are applied) and runs the DD and IA phases.
 // The first RC step happens on the first call to Step or Run.
@@ -183,31 +210,36 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	if opts.P < 1 || opts.P > 64 {
 		return nil, fmt.Errorf("core: P must be in [1,64], got %d", opts.P)
 	}
+	rt, err := opts.newRuntime()
+	if err != nil {
+		return nil, fmt.Errorf("core: building runtime: %w", err)
+	}
 	e := &Engine{
 		g:    g,
 		opts: opts,
-		cl:   cluster.New(opts.P, opts.Model),
+		rt:   rt,
 	}
-	if opts.Wire {
-		mesh, err := transport.NewTCPLoopback(opts.P)
-		if err != nil {
-			return nil, fmt.Errorf("core: building wire mesh: %w", err)
-		}
-		e.wire = mesh
-		e.cl.EnableWire(mesh, WireCodec{})
-	}
+	e.installStrategies()
 	e.initialize()
 	return e, nil
 }
 
-// Close releases resources held by optional modes (the wire mesh). Safe to
-// call on any engine; subsequent Steps on a wire engine will fail.
-func (e *Engine) Close() error {
-	if e.wire != nil {
-		return e.wire.Close()
+// installStrategies populates the strategies-phase pipeline from the
+// options.
+func (e *Engine) installStrategies() {
+	if e.opts.EagerLocalRefresh {
+		e.strategies = append(e.strategies, func(e *Engine, pr *proc) int {
+			return pr.eagerLocalRefresh(e)
+		})
 	}
-	return nil
 }
+
+// Runtime returns the execution runtime this engine programs against.
+func (e *Engine) Runtime() runtime.Runtime { return e.rt }
+
+// Close releases the execution runtime's resources (e.g. the wire mesh).
+// Safe to call on any engine; subsequent Steps on a wire engine will fail.
+func (e *Engine) Close() error { return e.rt.Close() }
 
 // initialize runs DD and IA from the engine's current graph, discarding any
 // previous distance state. Reinitialize exposes it for the baseline-restart
@@ -215,7 +247,7 @@ func (e *Engine) Close() error {
 func (e *Engine) initialize() {
 	start := time.Now()
 	assign := e.opts.Partitioner.Partition(e.g, e.opts.P)
-	e.cl.AccountCompute(time.Since(start))
+	e.rt.AccountCompute(time.Since(start))
 
 	e.width = e.g.NumIDs()
 	e.owner = make([]int16, e.width)
@@ -227,17 +259,7 @@ func (e *Engine) initialize() {
 	}
 	e.procs = make([]*proc, e.opts.P)
 	for p := 0; p < e.opts.P; p++ {
-		e.procs[p] = &proc{
-			id:            p,
-			store:         dv.NewStore(e.width),
-			ext:           make(map[graph.ID][]int32),
-			dirtySend:     make(map[graph.ID]bool),
-			dirtySrc:      make(map[graph.ID]bool),
-			meta:          make(map[graph.ID]*rowState),
-			extPending:    make(map[graph.ID]*extPending),
-			pendingRescan: make(map[graph.ID]map[graph.ID]struct{}),
-			isLocal:       make([]bool, e.width),
-		}
+		e.procs[p] = newProc(p, e.width)
 	}
 	for _, v := range e.g.Vertices() {
 		pr := e.procs[e.owner[v]]
@@ -245,7 +267,7 @@ func (e *Engine) initialize() {
 		pr.isLocal[v] = true
 	}
 	// IA: local Dijkstra per local vertex over the local subgraph.
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		sort.Slice(pr.local, func(i, j int) bool { return pr.local[i] < pr.local[j] })
 		pr.ensureScratch(e.width)
@@ -261,6 +283,68 @@ func (e *Engine) initialize() {
 	})
 	e.step = 0
 	e.conv = false
+}
+
+// newProc creates an empty processor component sized to the global ID
+// space. This is the start of the proc lifecycle: initialize and
+// LoadCheckpoint build procs here, dynamic ops grow them (growTo), crash
+// resets them wholesale, forgetFlow drops the exchange bookkeeping after a
+// repartition, and retire removes individual vertices.
+func newProc(id, width int) *proc {
+	return &proc{
+		id:            id,
+		store:         dv.NewStore(width),
+		ext:           make(map[graph.ID][]int32),
+		dirtySend:     make(map[graph.ID]bool),
+		dirtySrc:      make(map[graph.ID]bool),
+		meta:          make(map[graph.ID]*rowState),
+		extPending:    make(map[graph.ID]*extPending),
+		pendingRescan: make(map[graph.ID]map[graph.ID]struct{}),
+		isLocal:       make([]bool, width),
+	}
+}
+
+// crash drops everything the processor held — the DV store, snapshots and
+// all flow bookkeeping — leaving only its vertex ownership (local/isLocal).
+// FailProcessor uses it to simulate checkpoint-free processor loss.
+func (pr *proc) crash(width int) {
+	pr.store = dv.NewStore(width)
+	pr.forgetFlow()
+}
+
+// forgetFlow drops the processor's snapshots and exchange/relaxation
+// bookkeeping while keeping its DV rows: used when boundary relationships
+// change wholesale (repartitioning) or the state is rebuilt (crash).
+func (pr *proc) forgetFlow() {
+	pr.ext = make(map[graph.ID][]int32)
+	pr.extPending = make(map[graph.ID]*extPending)
+	pr.pendingRescan = make(map[graph.ID]map[graph.ID]struct{})
+	pr.meta = make(map[graph.ID]*rowState)
+	clear(pr.dirtySend)
+	clear(pr.dirtySrc)
+}
+
+// retire removes vertex v from this processor: the row and ownership if the
+// processor owns it, plus any snapshot, pending work and the column (the
+// distances *to* a removed vertex are no longer meaningful).
+func (pr *proc) retire(v graph.ID, owned bool) {
+	if owned {
+		pr.store.RemoveRow(v)
+		pr.isLocal[v] = false
+		for i, x := range pr.local {
+			if x == v {
+				pr.local = append(pr.local[:i], pr.local[i+1:]...)
+				break
+			}
+		}
+		delete(pr.dirtySend, v)
+		delete(pr.dirtySrc, v)
+		delete(pr.meta, v)
+	}
+	delete(pr.ext, v)
+	delete(pr.extPending, v)
+	delete(pr.pendingRescan, v)
+	pr.store.ClearColumn(v)
 }
 
 func (pr *proc) ensureScratch(width int) {
@@ -296,28 +380,21 @@ type StepReport struct {
 	Converged    bool
 }
 
-// Step performs one recombination step: boundary-DV exchange followed by
-// local relaxation. Dynamic changes are applied between steps via the
-// Apply* methods; this mirrors the paper's recombination template where the
-// strategy runs at line 17 of each iteration.
+// Step performs one recombination step through the four explicit phases of
+// the RC pipeline — collect → exchange → install/relax → strategies — all
+// running on the engine's execution runtime. Dynamic changes are applied
+// between steps via the Apply* methods; the strategies phase mirrors the
+// paper's recombination template where the strategy runs at line 17 of each
+// iteration.
 func (e *Engine) Step() StepReport {
 	e.step++
-	p := e.opts.P
-	mail := make([][]*cluster.Mail, p)
-	rowsSent := make([]int, p)
-	e.cl.Parallel(func(i int) {
-		mail[i], rowsSent[i] = e.procs[i].collectMail(e)
-	})
-	in := e.cl.Exchange(mail)
-	changed := make([]int, p)
-	e.cl.Parallel(func(i int) {
-		changed[i] = e.procs[i].installAndRelax(e, in[i])
-		if e.opts.EagerLocalRefresh {
-			changed[i] += e.procs[i].eagerLocalRefresh(e)
-		}
-	})
+	mail, rowsSent := e.collectPhase()
+	in := e.exchangePhase(mail)
+	changed := e.installRelaxPhase(in)
+	e.strategiesPhase(changed)
+
 	rep := StepReport{Step: e.step}
-	for i := 0; i < p; i++ {
+	for i := 0; i < e.opts.P; i++ {
 		rep.RowsSent += rowsSent[i]
 		rep.RowsChanged += changed[i]
 		for _, m := range mail[i] {
@@ -329,9 +406,53 @@ func (e *Engine) Step() StepReport {
 	e.conv = rep.MessagesSent == 0 && rep.RowsChanged == 0
 	rep.Converged = e.conv
 	if e.opts.Tracer != nil {
-		e.opts.Tracer.StepDone(rep, e.cl.Stats())
+		e.opts.Tracer.StepDone(rep, e.rt.Stats())
 	}
 	return rep
+}
+
+// collectPhase gathers every processor's changed boundary rows into one
+// outgoing mail matrix (mail[src][dst]) and reports per-processor row
+// counts.
+func (e *Engine) collectPhase() (mail [][]*cluster.Mail, rowsSent []int) {
+	p := e.opts.P
+	mail = make([][]*cluster.Mail, p)
+	rowsSent = make([]int, p)
+	e.rt.Parallel(func(i int) {
+		mail[i], rowsSent[i] = e.procs[i].collectMail(e)
+	})
+	return mail, rowsSent
+}
+
+// exchangePhase carries the personalised all-to-all over the execution
+// runtime, returning the received mail indexed [dst][src].
+func (e *Engine) exchangePhase(mail [][]*cluster.Mail) [][]*cluster.Mail {
+	return e.rt.Exchange(mail)
+}
+
+// installRelaxPhase installs the received boundary updates on every
+// processor and relaxes local rows through the changed sources, returning
+// per-processor changed-row counts.
+func (e *Engine) installRelaxPhase(in [][]*cluster.Mail) []int {
+	changed := make([]int, e.opts.P)
+	e.rt.Parallel(func(i int) {
+		changed[i] = e.procs[i].installAndRelax(e, in[i])
+	})
+	return changed
+}
+
+// strategiesPhase runs the registered per-processor recombination
+// strategies (e.g. the eager-local-refresh ablation), accumulating their
+// changed-row counts into changed.
+func (e *Engine) strategiesPhase(changed []int) {
+	if len(e.strategies) == 0 {
+		return
+	}
+	e.rt.Parallel(func(i int) {
+		for _, s := range e.strategies {
+			changed[i] += s(e, e.procs[i])
+		}
+	})
 }
 
 // Run executes RC steps until convergence (a step that exchanged nothing
@@ -373,8 +494,10 @@ func (e *Engine) Owner(v graph.ID) int {
 	return int(e.owner[v])
 }
 
-// Stats returns the simulated cluster's accounting counters.
-func (e *Engine) Stats() cluster.Stats { return e.cl.Stats() }
+// Stats returns the execution runtime's accounting counters. The schema is
+// identical across runtimes (sim and wire), so traces and experiment tables
+// compare directly.
+func (e *Engine) Stats() cluster.Stats { return e.rt.Stats() }
 
 // Assignment returns the current vertex-to-processor assignment as a
 // partition.Assignment (for cut/balance measurements).

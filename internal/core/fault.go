@@ -42,13 +42,7 @@ func (e *Engine) FailProcessor(p int) (*FailureRecovery, error) {
 	rec := &FailureRecovery{RowsLost: pr.store.Len()}
 
 	// The crash: all of p's state is gone.
-	pr.store = dv.NewStore(e.width)
-	pr.ext = make(map[graph.ID][]int32)
-	pr.extPending = make(map[graph.ID]*extPending)
-	pr.pendingRescan = make(map[graph.ID]map[graph.ID]struct{})
-	pr.meta = make(map[graph.ID]*rowState)
-	clear(pr.dirtySend)
-	clear(pr.dirtySrc)
+	pr.crash(e.width)
 
 	// Survivors know p lost their snapshots: clear p's up-to-date bit so
 	// the next contact ships a full row, and queue a re-send of every row
@@ -80,7 +74,7 @@ func (e *Engine) FailProcessor(p int) (*FailureRecovery, error) {
 			if e.Owner(v) != p {
 				continue
 			}
-			e.cl.AccountPointToPoint(4 + 4*len(snap))
+			e.rt.AccountPointToPoint(4 + 4*len(snap))
 			row := recovered[v]
 			if row == nil {
 				row = make([]int32, e.width)
@@ -114,7 +108,7 @@ func (e *Engine) FailProcessor(p int) (*FailureRecovery, error) {
 		}
 		pr.noteRowFull(v)
 	}
-	e.cl.AccountCompute(time.Since(start))
+	e.rt.AccountCompute(time.Since(start))
 	e.trace("failure", "processor %d lost %d rows, %d salvaged from snapshots", p, rec.RowsLost, rec.RowsFromSnapshots)
 	e.conv = false
 	return rec, nil

@@ -6,6 +6,7 @@ import (
 
 	"aacc/internal/gen"
 	"aacc/internal/graph"
+	"aacc/internal/runtime"
 )
 
 // TestOptionMatrix runs one dynamic scenario under every combination of the
@@ -13,16 +14,16 @@ import (
 // deletions — and requires the oracle result from each. The modes are
 // orthogonal by design; this pins that down.
 func TestOptionMatrix(t *testing.T) {
-	for _, wire := range []bool{false, true} {
+	for _, rt := range []runtime.Kind{runtime.Sim, runtime.WireTCP} {
 		for _, refresh := range []bool{false, true} {
 			for _, eagerDel := range []bool{false, true} {
-				name := fmt.Sprintf("wire=%t_refresh=%t_eagerdel=%t", wire, refresh, eagerDel)
+				name := fmt.Sprintf("runtime=%s_refresh=%t_eagerdel=%t", rt, refresh, eagerDel)
 				t.Run(name, func(t *testing.T) {
 					g := gen.BarabasiAlbert(120, 2, 99, gen.Config{MaxWeight: 3})
 					e, err := New(g, Options{
 						P:                 6,
 						Seed:              99,
-						Wire:              wire,
+						Runtime:           rt,
 						EagerLocalRefresh: refresh,
 					})
 					if err != nil {

@@ -39,7 +39,7 @@ func (r *RoundRobinPS) Assign(e *Engine, batch *VertexBatch) []int {
 		out[i] = r.next
 		r.next = (r.next + 1) % e.opts.P
 	}
-	e.cl.AccountCompute(time.Since(start))
+	e.rt.AccountCompute(time.Since(start))
 	return out
 }
 
@@ -127,7 +127,7 @@ func (c *CutEdgePS) Assign(e *Engine, batch *VertexBatch) []int {
 	for i := range out {
 		out[i] = partProc[assign.Of(graph.ID(i))]
 	}
-	e.cl.AccountCompute(time.Since(start))
+	e.rt.AccountCompute(time.Since(start))
 	return out
 }
 
@@ -233,7 +233,7 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 	start := time.Now()
 	assign := e.opts.Partitioner.Partition(e.g, e.opts.P)
 	e.remapPartsToOwners(assign)
-	e.cl.AccountCompute(time.Since(start))
+	e.rt.AccountCompute(time.Since(start))
 
 	// Migrate rows whose owner changed, shipping the partial results.
 	for _, v := range e.g.Vertices() {
@@ -250,7 +250,7 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 			src.isLocal[v] = false
 			delete(src.dirtySend, v)
 			delete(src.dirtySrc, v)
-			e.cl.AccountPointToPoint(4 + 4*len(row))
+			e.rt.AccountPointToPoint(4 + 4*len(row))
 			dst.store.AdoptRow(v, row)
 			res.Migrated++
 		} else {
@@ -260,15 +260,10 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 	}
 	// Rebuild per-processor vertex lists and drop all snapshots and change
 	// bookkeeping: boundary relationships changed wholesale.
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.local = pr.local[:0]
-		pr.ext = make(map[graph.ID][]int32)
-		pr.extPending = make(map[graph.ID]*extPending)
-		pr.pendingRescan = make(map[graph.ID]map[graph.ID]struct{})
-		pr.meta = make(map[graph.ID]*rowState)
-		clear(pr.dirtySend)
-		clear(pr.dirtySrc)
+		pr.forgetFlow()
 	})
 	for _, v := range e.g.Vertices() {
 		e.procs[e.owner[v]].local = append(e.procs[e.owner[v]].local, v)
@@ -276,7 +271,7 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 	// Re-seed every row from a fresh local Dijkstra merged over the
 	// surviving estimates (IA-quality local closure on the new subgraphs),
 	// and queue everything for exchange.
-	e.cl.Parallel(func(p int) {
+	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		sort.Slice(pr.local, func(i, j int) bool { return pr.local[i] < pr.local[j] })
 		pr.ensureScratch(e.width)

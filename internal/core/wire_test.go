@@ -9,6 +9,7 @@ import (
 	"aacc/internal/dv"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
+	"aacc/internal/runtime"
 )
 
 func TestWireCodecRoundTrip(t *testing.T) {
@@ -125,14 +126,16 @@ func TestWireModeMatchesInMemory(t *testing.T) {
 	g := gen.BarabasiAlbert(150, 2, 91, gen.Config{MaxWeight: 3})
 
 	mem := mustEngine(t, g.Clone(), 6)
-	mustRun(t, mem)
+	memSteps := mustRun(t, mem)
 
-	wired, err := New(g.Clone(), Options{P: 6, Seed: 7, Wire: true})
+	wired, err := New(g.Clone(), Options{P: 6, Seed: 7, Runtime: runtime.WireTCP})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wired.Close()
-	mustRun(t, wired)
+	if wireSteps := mustRun(t, wired); wireSteps != memSteps {
+		t.Fatalf("wire runtime took %d steps, sim took %d", wireSteps, memSteps)
+	}
 	checkExact(t, wired)
 
 	// Distances identical across transports.
@@ -144,6 +147,13 @@ func TestWireModeMatchesInMemory(t *testing.T) {
 			}
 		}
 	}
+	// And therefore scores, via the same reduction on both sides.
+	ms, ws := mem.Scores(), wired.Scores()
+	for v := range ms.Classic {
+		if ms.Classic[v] != ws.Classic[v] || ms.Harmonic[v] != ws.Harmonic[v] || ms.Valid[v] != ws.Valid[v] {
+			t.Fatalf("wire transport changed the score of vertex %d", v)
+		}
+	}
 	// Wire mode counts real frame bytes.
 	if wired.Stats().BytesSent == 0 {
 		t.Fatal("wire mode recorded no bytes")
@@ -152,7 +162,7 @@ func TestWireModeMatchesInMemory(t *testing.T) {
 
 func TestWireModeDynamics(t *testing.T) {
 	g := gen.BarabasiAlbert(100, 2, 92, gen.Config{MaxWeight: 2})
-	e, err := New(g, Options{P: 4, Seed: 7, Wire: true})
+	e, err := New(g, Options{P: 4, Seed: 7, Runtime: runtime.WireTCP})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"aacc/internal/graph"
 	"aacc/internal/metrics"
 	"aacc/internal/partition"
+	"aacc/internal/runtime"
 	"aacc/internal/workload"
 )
 
@@ -28,16 +29,16 @@ func Ext4(cfg Config) (*Result, error) {
 		},
 	}
 	g := cfg.baseGraph()
-	for _, wire := range []bool{false, true} {
+	for _, rt := range []runtime.Kind{runtime.Sim, runtime.WireTCP} {
 		mode := "in-memory"
-		if wire {
+		if rt == runtime.WireTCP {
 			mode = "tcp-wire"
 		}
 		cfg.progress("ext4: %s", mode)
 		e, err := core.New(g.Clone(), core.Options{
 			P: cfg.P, Seed: cfg.Seed,
 			Partitioner: partition.Multilevel{Seed: cfg.Seed},
-			Wire:        wire,
+			Runtime:     rt,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,173 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"aacc/internal/cluster"
+	"aacc/internal/logp"
+)
+
+func model(p int) logp.Params {
+	return logp.Params{Latency: 1e-3, Overhead: 1e-4, Gap: 1e-9, P: p, MaxMsg: 1 << 20}
+}
+
+// chanTransport is an in-process Transport double: frames are transposed
+// synchronously. It lets the wire path be tested without sockets.
+type chanTransport struct {
+	n      int
+	rounds int
+	fail   bool
+	closed int
+}
+
+func (c *chanTransport) RoundTrip(frames [][][]byte) ([][][]byte, error) {
+	if c.fail {
+		return nil, fmt.Errorf("injected transport failure")
+	}
+	c.rounds++
+	in := make([][][]byte, c.n)
+	for dst := range in {
+		in[dst] = make([][]byte, c.n)
+	}
+	for src := range frames {
+		for dst, f := range frames[src] {
+			if f != nil {
+				in[dst][src] = f
+			}
+		}
+	}
+	return in, nil
+}
+
+func (c *chanTransport) Close() error {
+	c.closed++
+	return nil
+}
+
+// stringCodec encodes string payloads for the double.
+type stringCodec struct{}
+
+func (stringCodec) Encode(p any) ([]byte, error) {
+	s, ok := p.(string)
+	if !ok {
+		return nil, fmt.Errorf("not a string: %T", p)
+	}
+	return []byte(s), nil
+}
+
+func (stringCodec) Decode(frame []byte) (any, error) { return string(frame), nil }
+
+func TestWireExchangeRoutesAndAccounts(t *testing.T) {
+	tr := &chanTransport{n: 3}
+	w := NewWire(3, model(3), stringCodec{}, tr)
+	out := make([][]*cluster.Mail, 3)
+	for i := range out {
+		out[i] = make([]*cluster.Mail, 3)
+	}
+	out[0][2] = &cluster.Mail{Payload: "hello", Bytes: 999} // Bytes estimate ignored in wire mode
+	out[1][0] = &cluster.Mail{Payload: "yo", Bytes: 999}
+	in := w.Exchange(out)
+	if in[2][0] == nil || in[2][0].Payload != "hello" {
+		t.Fatalf("payload lost: %+v", in[2][0])
+	}
+	if in[2][0].Bytes != 5 {
+		t.Fatalf("wire bytes %d, want measured 5", in[2][0].Bytes)
+	}
+	st := w.Stats()
+	if st.BytesSent != 5+2 {
+		t.Fatalf("accounted %d bytes, want 7 (measured frames)", st.BytesSent)
+	}
+	if st.MessagesSent != 2 || st.ExchangeRounds != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if tr.rounds != 1 {
+		t.Fatalf("transport rounds %d", tr.rounds)
+	}
+}
+
+func TestWireExchangePanicsOnTransportFailure(t *testing.T) {
+	w := NewWire(2, model(2), stringCodec{}, &chanTransport{n: 2, fail: true})
+	out := [][]*cluster.Mail{{nil, {Payload: "x", Bytes: 1}}, {nil, nil}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on transport failure")
+		}
+	}()
+	w.Exchange(out)
+}
+
+func TestWireExchangePanicsOnCodecFailure(t *testing.T) {
+	w := NewWire(2, model(2), stringCodec{}, &chanTransport{n: 2})
+	out := [][]*cluster.Mail{{nil, {Payload: 42, Bytes: 1}}, {nil, nil}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on codec failure")
+		}
+	}()
+	w.Exchange(out)
+}
+
+func TestNewWireValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil transport")
+		}
+	}()
+	NewWire(2, model(2), nil, nil)
+}
+
+func TestWireCloseClosesTransport(t *testing.T) {
+	tr := &chanTransport{n: 2}
+	w := NewWire(2, model(2), stringCodec{}, tr)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.closed != 1 {
+		t.Fatalf("transport closed %d times, want 1", tr.closed)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"", Sim, false},
+		{"sim", Sim, false},
+		{"mem", Sim, false},
+		{"tcp", WireTCP, false},
+		{"wire", WireTCP, false},
+		{"mpi", "", true},
+	} {
+		got, err := ParseKind(tc.in)
+		if tc.err != (err != nil) || got != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+func TestNewSimIsACluster(t *testing.T) {
+	rt, err := New(Sim, 4, model(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.P() != 4 {
+		t.Fatalf("P = %d", rt.P())
+	}
+	ran := make([]bool, 4)
+	rt.Parallel(func(p int) { ran[p] = true })
+	for p, ok := range ran {
+		if !ok {
+			t.Fatalf("proc %d never ran", p)
+		}
+	}
+}
+
+func TestNewWireKindNeedsCodec(t *testing.T) {
+	if _, err := New(WireTCP, 2, model(2), nil); err == nil {
+		t.Fatal("expected error for wire runtime without codec")
+	}
+}

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Failure-path coverage: the framing reader against truncated and malformed
+// streams, Close semantics under concurrency, and RoundTrip on a torn-down
+// mesh. The engine's wire runtime turns any error from these paths into a
+// panic, so each must actually surface as an error rather than a hang.
+
+// pipePair returns a connected in-process conn pair with a deadline so a
+// framing bug fails the test instead of hanging it.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	dl := time.Now().Add(5 * time.Second)
+	a.SetDeadline(dl)
+	b.SetDeadline(dl)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestReadRoundShortHeader(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		a.Write([]byte{7, 0}) // half a length header
+		a.Close()
+	}()
+	if _, err := readRound(b); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadRoundTruncatedPayload(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], 100) // promise 100 bytes
+		a.Write(hdr[:])
+		a.Write([]byte("only twenty bytes...")) // deliver 20
+		a.Close()
+	}()
+	if _, err := readRound(b); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadRoundMissingTerminator(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		writeFrame(a, []byte("complete frame, no terminator"))
+		a.Close()
+	}()
+	if _, err := readRound(b); err == nil {
+		t.Fatal("round without terminator accepted")
+	}
+}
+
+func TestReadRoundTwoFramesOneRound(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		writeFrame(a, []byte("first"))
+		writeFrame(a, []byte("second"))
+		writeTerminator(a)
+	}()
+	_, err := readRound(b)
+	if err == nil || !strings.Contains(err.Error(), "two frames") {
+		t.Fatalf("second frame in a round: err = %v", err)
+	}
+}
+
+func TestReadRoundZeroLengthFrame(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		writeFrame(a, []byte{})
+		writeTerminator(a)
+	}()
+	frame, err := readRound(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero-length frame is a real (empty) message, distinct from the nil
+	// of "nothing sent this round".
+	if frame == nil || len(frame) != 0 {
+		t.Fatalf("zero-length frame read back as %v", frame)
+	}
+}
+
+func TestRoundTripAfterCloseErrors(t *testing.T) {
+	mesh, err := NewTCPLoopback(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][][]byte, 3)
+	for i := range frames {
+		frames[i] = make([][]byte, 3)
+	}
+	frames[0][1] = []byte("into the void")
+	if _, err := mesh.RoundTrip(frames); err == nil {
+		t.Fatal("RoundTrip on a closed mesh succeeded")
+	}
+}
+
+func TestDoubleCloseReturnsSameResult(t *testing.T) {
+	mesh, err := NewTCPLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mesh.Close()
+	second := mesh.Close()
+	if first != second {
+		t.Fatalf("double Close disagreed: %v then %v", first, second)
+	}
+}
+
+// TestCloseRacesInFlightRoundTrip closes the mesh while RoundTrips are in
+// flight from another goroutine. The contract under test is narrow: no
+// panic, no deadlock — each RoundTrip either completes or returns an error.
+func TestCloseRacesInFlightRoundTrip(t *testing.T) {
+	const n = 4
+	mesh, err := NewTCPLoopback(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<20)
+	frames := make([][][]byte, n)
+	for src := range frames {
+		frames[src] = make([][]byte, n)
+		for dst := range frames[src] {
+			if dst != src {
+				frames[src][dst] = big
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := mesh.RoundTrip(frames); err != nil {
+				return // closed under us: the expected exit
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	mesh.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RoundTrip deadlocked against Close")
+	}
+}

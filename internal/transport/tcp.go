@@ -15,7 +15,7 @@ import (
 )
 
 // TCPLoopback is a full mesh of loopback TCP connections between n
-// simulated processors. It implements cluster.Transport.
+// simulated processors. It implements Transport.
 type TCPLoopback struct {
 	n int
 	// conns[src][dst] is the directed connection src uses to reach dst.
@@ -117,7 +117,7 @@ func NewTCPLoopback(n int) (*TCPLoopback, error) {
 	return t, nil
 }
 
-// RoundTrip implements cluster.Transport: writes every frame on its
+// RoundTrip implements Transport: writes every frame on its
 // directed connection and reads every frame back on the receiving side.
 // Senders run concurrently (kernel socket buffers decouple them); each
 // receiver drains its incoming connections in source order, so the result

@@ -1,0 +1,12 @@
+package transport
+
+// Transport carries one personalised all-to-all round of raw frames between
+// the simulated processors over a real byte substrate (e.g. TCP loopback,
+// standing in for the paper's MPI-over-Ethernet). frames[src][dst] is the
+// encoded payload from src to dst (nil = no message); the result is indexed
+// [dst][src]. Implementations may deliver frames in any order but must
+// deliver every frame exactly once per round.
+type Transport interface {
+	RoundTrip(frames [][][]byte) ([][][]byte, error)
+	Close() error
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Runs the root bench_test.go benchmark suite and emits BENCH_core.json —
+# the perf baseline later PRs diff against. Usage:
+#
+#   scripts/bench_baseline.sh [benchtime] [output]
+#
+# benchtime defaults to 1x (a smoke baseline; use e.g. 2s for a stable one),
+# output defaults to BENCH_core.json in the repo root. Only standard tools
+# (go, awk) are used; the JSON is the go-test benchmark line, structured.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1x}"
+OUT="${2:-BENCH_core.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    print  "  \"benchmarks\": ["
+    first = 1
+}
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    # BenchmarkName-8  N  t ns/op  b B/op  a allocs/op
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (!first) print ","
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END {
+    print ""
+    print "  ],"
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\"\n", cpu
+    print "}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
