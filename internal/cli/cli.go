@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -84,6 +86,50 @@ func PickPartitioner(name string, seed int64) (partition.Partitioner, error) {
 	}
 }
 
+// startProfiles begins CPU profiling to cpuPath and returns a stop function
+// that ends it and writes an allocation profile to memPath. Either path may
+// be empty to skip that profile. The stop function is safe to call exactly
+// once and reports the first error encountered.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			goruntime.GC() // flush recent frees so the profile reflects live heap
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
 // Analysis implements cmd/aacc.
 func Analysis(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("aacc", flag.ContinueOnError)
@@ -104,10 +150,21 @@ func Analysis(args []string, stdout io.Writer) error {
 		rtName    = fs.String("runtime", "sim", "execution runtime: sim (in-process) or tcp (boundary DVs over a real TCP loopback mesh)")
 		wire      = fs.Bool("wire", false, "deprecated alias for -runtime tcp")
 		traceCSV  = fs.String("trace", "", "write a CSV step/event trace to this file")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stdout, "profile error: %v\n", err)
+		}
+	}()
 
 	g, err := LoadOrGenerate(*graphPath, *genName, *n, *seed, int32(*maxW))
 	if err != nil {
@@ -216,17 +273,28 @@ func Bench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("aacc-bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		list = fs.String("experiment", "all", "comma-separated experiment ids, or 'all'")
-		n    = fs.Int("n", 2000, "base graph size (paper: 50000)")
-		p    = fs.Int("p", 16, "simulated processors")
-		seed = fs.Int64("seed", 20160516, "random seed")
-		maxW = fs.Int("maxw", 1, "maximum random edge weight")
-		verb = fs.Bool("v", false, "print per-run progress")
-		show = fs.Bool("list", false, "list experiment ids and exit")
+		list    = fs.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		n       = fs.Int("n", 2000, "base graph size (paper: 50000)")
+		p       = fs.Int("p", 16, "simulated processors")
+		seed    = fs.Int64("seed", 20160516, "random seed")
+		maxW    = fs.Int("maxw", 1, "maximum random edge weight")
+		verb    = fs.Bool("v", false, "print per-run progress")
+		show    = fs.Bool("list", false, "list experiment ids and exit")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+		memProf = fs.String("memprofile", "", "write a pprof allocation profile after the runs to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stdout, "profile error: %v\n", err)
+		}
+	}()
 	if *show {
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(stdout, "%-7s %s\n", id, experiments.Describe(id))

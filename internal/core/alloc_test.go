@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+)
+
+// TestExtPendingNoteDedup is the regression test for duplicate-column
+// inflation: repeated delta notes for the same column must not creep toward
+// the width/colCap full-row threshold — only *unique* columns count.
+func TestExtPendingNoteDedup(t *testing.T) {
+	const width = 100 // threshold: width/colCap = 50 unique columns
+	p := &extPending{}
+	for i := 0; i < 40*width; i++ {
+		p.note(width, []int32{7})
+	}
+	if p.full {
+		t.Fatal("repeated notes for a single column tripped the full-row threshold")
+	}
+	if got := p.cols.Sorted(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("flattened columns = %v, want [7]", got)
+	}
+	// Distinct columns past the threshold must still trip it.
+	cols := make([]int32, 0, width/colCap+1)
+	for c := int32(0); c <= width/colCap; c++ {
+		cols = append(cols, c)
+	}
+	p.note(width, cols)
+	if !p.full {
+		t.Fatalf("%d unique columns did not trip the width/%d threshold", len(cols), colCap)
+	}
+}
+
+// steadyStateEngine returns a converged engine plus a boundary vertex owned
+// by some processor with at least one peer holding its snapshot.
+func steadyStateEngine(t *testing.T) (*Engine, graph.ID) {
+	t.Helper()
+	g := gen.BarabasiAlbert(300, 2, 11, gen.Config{MaxWeight: 4})
+	e := mustEngine(t, g, 4)
+	mustRun(t, e)
+	for _, v := range e.g.Vertices() {
+		if e.peerMask(v) != 0 {
+			return e, v
+		}
+	}
+	t.Fatal("no boundary vertex found")
+	return nil, 0
+}
+
+// TestCollectMailAllocsSteadyState pins the steady-state allocation count of
+// collectMail: re-sending a one-column delta for a boundary row must not
+// allocate (arena-backed cols/vals, pooled mail and message cells).
+func TestCollectMailAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins only hold without -race")
+	}
+	e, v := steadyStateEngine(t)
+	pr := e.procs[e.Owner(v)]
+	cols := []int32{0}
+	allocs := testing.AllocsPerRun(50, func() {
+		pr.noteRowChanged(e, v, cols, false)
+		pr.collectMail(e)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state collectMail allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestStepAllocsSteadyState pins the steady-state allocation count of a full
+// Engine.Step that re-sends and re-relaxes a one-column delta. The runtime's
+// phase plumbing (goroutine spawns in Parallel, the exchange) has a small
+// constant cost; the data path itself must contribute nothing that scales
+// with rows or width. Seed-level steps allocated hundreds of times per step.
+func TestStepAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins only hold without -race")
+	}
+	e, v := steadyStateEngine(t)
+	pr := e.procs[e.Owner(v)]
+	cols := []int32{0}
+	allocs := testing.AllocsPerRun(50, func() {
+		pr.noteRowChanged(e, v, cols, false)
+		e.Step()
+	})
+	const budget = 60
+	if allocs > budget {
+		t.Errorf("steady-state Step allocates %.1f times per run, budget %d", allocs, budget)
+	}
+	t.Logf("steady-state Step: %.1f allocs/run (budget %d)", allocs, budget)
+}

@@ -108,6 +108,8 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Engine, error) {
 	}
 	e.installStrategies()
 	e.width = pl.NumIDs
+	e.maskCache = make([]uint64, e.width)
+	e.maskValid = make([]bool, e.width)
 	if len(pl.Owner) != pl.NumIDs {
 		return nil, fmt.Errorf("core: checkpoint owner table has %d entries, want %d", len(pl.Owner), pl.NumIDs)
 	}

@@ -45,6 +45,8 @@ func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
 			continue // no shorter than what exists
 		}
 		e.g.AddEdge(ed.U, ed.V, ed.W)
+		e.invalidateMask(ed.U)
+		e.invalidateMask(ed.V)
 		applied = append(applied, ed)
 	}
 	if len(applied) == 0 {
@@ -139,6 +141,8 @@ func (e *Engine) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
 	endRows := e.broadcastRows(edgeEndpoints(batch))
 	for _, ed := range batch {
 		e.g.RemoveEdge(ed.U, ed.V)
+		e.invalidateMask(ed.U)
+		e.invalidateMask(ed.V)
 	}
 	e.invalidateAndReseed(batch, endRows)
 	e.trace("edge-delete", "%d edges removed (barrier mode)", len(batch))
@@ -185,6 +189,13 @@ func (e *Engine) invalidateAndReseed(batch []graph.EdgeTriple, endRows map[graph
 		for s, row := range pr.ext {
 			if len(row) < e.width {
 				continue // stale narrow snapshot; owner will refresh
+			}
+			if pr.extShared.Has(s) {
+				// Copy-on-write before the sweep may punch holes: the
+				// backing array is shared with other processors.
+				row = pr.newRowCopy(row)
+				pr.ext[s] = row
+				pr.extShared.Clear(s)
 			}
 			if sweep(row, s) > 0 {
 				holes[s] = true
@@ -262,6 +273,8 @@ func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
 	}
 	for _, ed := range batch {
 		e.g.RemoveEdge(ed.U, ed.V)
+		e.invalidateMask(ed.U)
+		e.invalidateMask(ed.V)
 	}
 	suspect := func(row []int32) bool {
 		for _, ed := range batch {
@@ -296,7 +309,16 @@ func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
 		for s, row := range pr.ext {
 			if suspect(row) {
 				delete(pr.ext, s)
-				delete(pr.extPending, s)
+				if !pr.extShared.Has(s) {
+					pr.recycleRow(row)
+				}
+				pr.extShared.Clear(s)
+				if p, ok := pr.extPending[s]; ok {
+					delete(pr.extPending, s)
+					p.cols.Reset()
+					p.full = false
+					pr.pendingPool = append(pr.pendingPool, p)
+				}
 				holes[s] = true
 			}
 		}
@@ -506,6 +528,7 @@ func (e *Engine) RemoveVertices(ids []graph.ID) error {
 		owner := e.Owner(v)
 		e.g.RemoveVertex(v)
 		e.owner[v] = -1
+		e.invalidateMask(v)
 		e.rt.Parallel(func(p int) {
 			e.procs[p].retire(v, p == owner)
 		})
@@ -524,6 +547,10 @@ func (e *Engine) growTo(width int) {
 	for len(e.owner) < width {
 		e.owner = append(e.owner, -1)
 	}
+	for len(e.maskCache) < width {
+		e.maskCache = append(e.maskCache, 0)
+		e.maskValid = append(e.maskValid, false)
+	}
 	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.store.Grow(width)
@@ -534,7 +561,11 @@ func (e *Engine) growTo(width int) {
 				for i := n; i < width; i++ {
 					grown[i] = dv.Inf
 				}
+				if !pr.extShared.Has(v) {
+					pr.recycleRow(row)
+				}
 				pr.ext[v] = grown
+				pr.extShared.Clear(v) // the grown copy is owned
 			}
 		}
 		for len(pr.isLocal) < width {

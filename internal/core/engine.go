@@ -36,6 +36,7 @@ import (
 	"aacc/internal/partition"
 	"aacc/internal/pqueue"
 	"aacc/internal/runtime"
+	"aacc/internal/sparse"
 	"aacc/internal/sssp"
 )
 
@@ -106,6 +107,17 @@ type Engine struct {
 	width int // current global ID-space size
 	step  int
 	conv  bool
+	// maskCache memoises peerMask per vertex (maskValid[v] gates it);
+	// mutation paths that change a vertex's neighbourhood or ownership
+	// invalidate the affected entries. During parallel phases each vertex's
+	// mask is only computed by its owner, so the []bool writes never race.
+	maskCache []uint64
+	maskValid []bool
+	// Pooled per-step phase buffers (the mail matrix and per-proc counters),
+	// reused across Steps.
+	mailMat     [][]*cluster.Mail
+	rowsSentBuf []int
+	changedBuf  []int
 	// strategies are the per-processor recombination strategies run in the
 	// strategies phase of every Step (the paper's "line 17" hook). Today
 	// the eager-local-refresh ablation registers here; future strategies
@@ -127,28 +139,56 @@ type proc struct {
 	// ext holds the latest received snapshot of each external boundary
 	// vertex's DV row (full receipts replace it; deltas patch it).
 	ext map[graph.ID][]int32
+	// extShared marks ext rows whose backing array may be shared with
+	// other processors (full rows arrive as one copy shared across all
+	// destinations); any mutation must copy-on-write first.
+	extShared sparse.Bits
 	// dirtySend: local rows changed since they were last sent.
-	dirtySend map[graph.ID]bool
+	dirtySend sparse.Set
 	// dirtySrc: local rows changed since last used as relaxation sources.
-	dirtySrc map[graph.ID]bool
+	dirtySrc sparse.Set
 	// meta: per-row change tracking (which columns, full flags, which
 	// peers hold an up-to-date snapshot).
 	meta map[graph.ID]*rowState
 	// extPending: snapshots changed since last used as relaxation
 	// sources, with the changed columns (full=true for whole-row scans).
+	// Entries are recycled through pendingPool.
 	extPending map[graph.ID]*extPending
 	// pendingRescan: row -> held sources whose distance column decreased
 	// in a mutation outside relax; the DVR rescan rule fires next relax.
+	// Empty in steady state (only mutation paths populate it).
 	pendingRescan map[graph.ID]map[graph.ID]struct{}
 	// isLocal[v] reports local ownership; sized to the engine width.
 	isLocal []bool
 	heap    *pqueue.Heap // scratch for local Dijkstra
 	scratch []int32      // scratch distance row
+
+	// Reusable relaxation scratch (see gatherSources/relaxRowSources).
+	changedBuf []int32       // changed-column scratch, one row at a time
+	rescanBuf  []graph.ID    // DVR rescan queue
+	lastScan   sparse.I32Map // per-row last-scanned distance per source
+	idBuf      []graph.ID    // sorted-ID scratch
+	srcBuf     []relaxSource // gathered source list
+	srcArena   []int32       // changed-column copies, lifetime = one relax
+	sendArena  []int32       // outgoing delta cols+vals, lifetime = one step
+
+	// rowPool recycles retired full-row arrays (replaced owned snapshots)
+	// for newRowCopy; pendingPool recycles drained extPending entries.
+	pendingPool []*extPending
+	rowPool     [][]int32
+
+	// Pooled outgoing-mail structures, reused across steps: mailBuf is the
+	// per-destination mail slice handed to the exchange, mailCells/msgCells
+	// the backing objects. Safe to reuse because a step's mail is consumed
+	// in the same step's install phase (phases are barriers).
+	mailBuf   []*cluster.Mail
+	mailCells []cluster.Mail
+	msgCells  []boundaryMsg
 }
 
 // extPending records how a held snapshot changed since the last relax.
 type extPending struct {
-	cols []int32
+	cols sparse.Cols
 	full bool
 }
 
@@ -156,10 +196,49 @@ func (p *extPending) note(width int, cols []int32) {
 	if p.full {
 		return
 	}
-	p.cols = append(p.cols, cols...)
-	if len(p.cols) > width/colCap {
+	if p.cols.Note(cols, width/colCap) {
 		p.full = true
-		p.cols = nil
+		p.cols.Release()
+	}
+}
+
+// pendingFor returns (allocating or recycling) the extPending entry of v.
+func (pr *proc) pendingFor(v graph.ID) *extPending {
+	p := pr.extPending[v]
+	if p == nil {
+		if n := len(pr.pendingPool); n > 0 {
+			p = pr.pendingPool[n-1]
+			pr.pendingPool[n-1] = nil
+			pr.pendingPool = pr.pendingPool[:n-1]
+		} else {
+			p = &extPending{}
+		}
+		pr.extPending[v] = p
+	}
+	return p
+}
+
+// newRowCopy returns a copy of src backed by a pooled array when available.
+func (pr *proc) newRowCopy(src []int32) []int32 {
+	for n := len(pr.rowPool); n > 0; n = len(pr.rowPool) {
+		row := pr.rowPool[n-1]
+		pr.rowPool[n-1] = nil
+		pr.rowPool = pr.rowPool[:n-1]
+		if cap(row) >= len(src) {
+			row = row[:len(src)]
+			copy(row, src)
+			return row
+		}
+	}
+	out := make([]int32, len(src))
+	copy(out, src)
+	return out
+}
+
+// recycleRow returns an owned (never shared) row array to the pool.
+func (pr *proc) recycleRow(row []int32) {
+	if row != nil {
+		pr.rowPool = append(pr.rowPool, row)
 	}
 }
 
@@ -179,6 +258,18 @@ func (m *boundaryMsg) add(v graph.ID, fullRow, cols, vals []int32) {
 	m.full = append(m.full, fullRow)
 	m.cols = append(m.cols, cols)
 	m.vals = append(m.vals, vals)
+}
+
+// reset empties a pooled message for reuse, dropping row references so the
+// pool does not pin installed snapshots.
+func (m *boundaryMsg) reset() {
+	m.ids = m.ids[:0]
+	clear(m.full)
+	m.full = m.full[:0]
+	clear(m.cols)
+	m.cols = m.cols[:0]
+	clear(m.vals)
+	m.vals = m.vals[:0]
 }
 
 func (m *boundaryMsg) bytes() int {
@@ -254,6 +345,9 @@ func (e *Engine) initialize() {
 	for i := range e.owner {
 		e.owner[i] = -1
 	}
+	e.maskCache = make([]uint64, e.width)
+	e.maskValid = make([]bool, e.width)
+	e.mailMat, e.rowsSentBuf, e.changedBuf = nil, nil, nil
 	for _, v := range e.g.Vertices() {
 		e.owner[v] = int16(assign.Of(v))
 	}
@@ -277,7 +371,7 @@ func (e *Engine) initialize() {
 			copy(pr.store.Row(v), pr.scratch)
 			// IA rows are sent whole, but are not relaxation sources:
 			// local closure means they offer nothing to each other.
-			pr.dirtySend[v] = true
+			pr.dirtySend.Add(v)
 			pr.state(v).sendFull = true
 		}
 	})
@@ -295,8 +389,6 @@ func newProc(id, width int) *proc {
 		id:            id,
 		store:         dv.NewStore(width),
 		ext:           make(map[graph.ID][]int32),
-		dirtySend:     make(map[graph.ID]bool),
-		dirtySrc:      make(map[graph.ID]bool),
 		meta:          make(map[graph.ID]*rowState),
 		extPending:    make(map[graph.ID]*extPending),
 		pendingRescan: make(map[graph.ID]map[graph.ID]struct{}),
@@ -308,7 +400,11 @@ func newProc(id, width int) *proc {
 // all flow bookkeeping — leaving only its vertex ownership (local/isLocal).
 // FailProcessor uses it to simulate checkpoint-free processor loss.
 func (pr *proc) crash(width int) {
-	pr.store = dv.NewStore(width)
+	if pr.store.Width() != width {
+		pr.store = dv.NewStore(width)
+	} else {
+		pr.store.Reset()
+	}
 	pr.forgetFlow()
 }
 
@@ -316,12 +412,23 @@ func (pr *proc) crash(width int) {
 // bookkeeping while keeping its DV rows: used when boundary relationships
 // change wholesale (repartitioning) or the state is rebuilt (crash).
 func (pr *proc) forgetFlow() {
-	pr.ext = make(map[graph.ID][]int32)
-	pr.extPending = make(map[graph.ID]*extPending)
-	pr.pendingRescan = make(map[graph.ID]map[graph.ID]struct{})
-	pr.meta = make(map[graph.ID]*rowState)
-	clear(pr.dirtySend)
-	clear(pr.dirtySrc)
+	clear(pr.ext)
+	pr.extShared.Reset()
+	pr.dropPending()
+	clear(pr.pendingRescan)
+	clear(pr.meta)
+	pr.dirtySend.Clear()
+	pr.dirtySrc.Clear()
+}
+
+// dropPending recycles and clears every extPending entry.
+func (pr *proc) dropPending() {
+	for _, p := range pr.extPending {
+		p.cols.Reset()
+		p.full = false
+		pr.pendingPool = append(pr.pendingPool, p)
+	}
+	clear(pr.extPending)
 }
 
 // retire removes vertex v from this processor: the row and ownership if the
@@ -329,7 +436,7 @@ func (pr *proc) forgetFlow() {
 // distances *to* a removed vertex are no longer meaningful).
 func (pr *proc) retire(v graph.ID, owned bool) {
 	if owned {
-		pr.store.RemoveRow(v)
+		pr.store.DiscardRow(v)
 		pr.isLocal[v] = false
 		for i, x := range pr.local {
 			if x == v {
@@ -337,12 +444,23 @@ func (pr *proc) retire(v graph.ID, owned bool) {
 				break
 			}
 		}
-		delete(pr.dirtySend, v)
-		delete(pr.dirtySrc, v)
+		pr.dirtySend.Remove(v)
+		pr.dirtySrc.Remove(v)
 		delete(pr.meta, v)
 	}
-	delete(pr.ext, v)
-	delete(pr.extPending, v)
+	if row, ok := pr.ext[v]; ok {
+		delete(pr.ext, v)
+		if !pr.extShared.Has(v) {
+			pr.recycleRow(row)
+		}
+		pr.extShared.Clear(v)
+	}
+	if p, ok := pr.extPending[v]; ok {
+		delete(pr.extPending, v)
+		p.cols.Reset()
+		p.full = false
+		pr.pendingPool = append(pr.pendingPool, p)
+	}
 	delete(pr.pendingRescan, v)
 	pr.store.ClearColumn(v)
 }
@@ -413,11 +531,15 @@ func (e *Engine) Step() StepReport {
 
 // collectPhase gathers every processor's changed boundary rows into one
 // outgoing mail matrix (mail[src][dst]) and reports per-processor row
-// counts.
+// counts. The matrix and counters are pooled across steps.
 func (e *Engine) collectPhase() (mail [][]*cluster.Mail, rowsSent []int) {
 	p := e.opts.P
-	mail = make([][]*cluster.Mail, p)
-	rowsSent = make([]int, p)
+	if len(e.mailMat) != p {
+		e.mailMat = make([][]*cluster.Mail, p)
+		e.rowsSentBuf = make([]int, p)
+		e.changedBuf = make([]int, p)
+	}
+	mail, rowsSent = e.mailMat, e.rowsSentBuf
 	e.rt.Parallel(func(i int) {
 		mail[i], rowsSent[i] = e.procs[i].collectMail(e)
 	})
@@ -434,7 +556,7 @@ func (e *Engine) exchangePhase(mail [][]*cluster.Mail) [][]*cluster.Mail {
 // processor and relaxes local rows through the changed sources, returning
 // per-processor changed-row counts.
 func (e *Engine) installRelaxPhase(in [][]*cluster.Mail) []int {
-	changed := make([]int, e.opts.P)
+	changed := e.changedBuf
 	e.rt.Parallel(func(i int) {
 		changed[i] = e.procs[i].installAndRelax(e, in[i])
 	})
@@ -551,7 +673,13 @@ func (e *Engine) Distance(u, v graph.ID) int32 {
 
 // peerMask returns the bitmask of processors that have v as an external
 // boundary vertex (processors owning a neighbour of v, other than v's own).
+// Masks are cached per vertex; mutation paths invalidate affected entries
+// (see invalidateMask/invalidateAllMasks). During parallel phases only v's
+// owner computes v's mask, so the cache writes never race.
 func (e *Engine) peerMask(v graph.ID) uint64 {
+	if e.maskValid[v] {
+		return e.maskCache[v]
+	}
 	own := e.owner[v]
 	var mask uint64
 	for _, ed := range e.g.Neighbors(v) {
@@ -559,63 +687,115 @@ func (e *Engine) peerMask(v graph.ID) uint64 {
 			mask |= 1 << uint(o)
 		}
 	}
+	e.maskCache[v] = mask
+	e.maskValid[v] = true
 	return mask
+}
+
+// invalidateMask drops the cached peer mask of v (its neighbourhood or an
+// endpoint's ownership changed).
+func (e *Engine) invalidateMask(v graph.ID) {
+	if int(v) < len(e.maskValid) {
+		e.maskValid[v] = false
+	}
+}
+
+// invalidateAllMasks drops every cached peer mask (ownership changed
+// wholesale, e.g. repartitioning).
+func (e *Engine) invalidateAllMasks() {
+	clear(e.maskValid)
 }
 
 // collectMail gathers this processor's changed boundary rows into one
 // message per peer processor. A peer holding an up-to-date snapshot gets
 // only the changed (column, value) pairs; first contacts and forced
-// refreshes get a full copy (per-destination copies: receivers own and may
-// mutate full rows during deletion sweeps; delta slices are read-only and
-// shared).
+// refreshes get one shared read-only full copy (receivers copy-on-write
+// before mutating, see extShared). Delta cols/vals live in the per-proc
+// send arena, valid until the next collect; message and mail objects are
+// pooled per destination.
 func (pr *proc) collectMail(e *Engine) ([]*cluster.Mail, int) {
-	mail := make([]*cluster.Mail, e.opts.P)
-	if len(pr.dirtySend) == 0 {
+	if len(pr.mailBuf) != e.opts.P {
+		pr.mailBuf = make([]*cluster.Mail, e.opts.P)
+		pr.mailCells = make([]cluster.Mail, e.opts.P)
+		pr.msgCells = make([]boundaryMsg, e.opts.P)
+	}
+	mail := pr.mailBuf
+	clear(mail)
+	if pr.dirtySend.Len() == 0 {
 		return mail, 0
 	}
-	msgs := make([]*boundaryMsg, e.opts.P)
+	pr.sendArena = pr.sendArena[:0]
+	used := uint64(0) // destinations with a message this step
 	rows := 0
-	for _, v := range sortedIDs(pr.dirtySend) {
+	for _, id := range pr.dirtySend.Sorted() {
+		v := graph.ID(id)
 		mask := e.peerMask(v)
 		st := pr.state(v)
 		if mask == 0 {
 			// No peers: nobody holds a snapshot, future peers get a
 			// full row anyway.
-			st.sendCols, st.sendFull, st.upToDate = nil, false, 0
+			st.sendCols.Release()
+			st.sendFull, st.upToDate = false, 0
 			continue
 		}
-		rows++
 		row := pr.store.Row(v)
 		var cols, vals []int32
 		if !st.sendFull {
-			cols = sortedCols(st.sendCols)
-			vals = make([]int32, len(cols))
-			for i, c := range cols {
-				vals[i] = row[c]
+			cs := st.sendCols.Sorted()
+			a := len(pr.sendArena)
+			pr.sendArena = append(pr.sendArena, cs...)
+			b := len(pr.sendArena)
+			for _, c := range cs {
+				pr.sendArena = append(pr.sendArena, row[c])
 			}
+			cols = pr.sendArena[a:b:b]
+			vals = pr.sendArena[b:len(pr.sendArena):len(pr.sendArena)]
 		}
+		// One shared copy serves every destination needing the full row.
+		var fullRow []int32
+		if st.sendFull || st.upToDate&mask != mask {
+			fullRow = pr.newRowCopy(row)
+		}
+		sent := false
 		for dst, m := 0, mask; m != 0; dst++ {
 			if m&(1<<uint(dst)) == 0 {
 				continue
 			}
 			m &^= 1 << uint(dst)
-			if msgs[dst] == nil {
-				msgs[dst] = &boundaryMsg{}
+			needFull := st.sendFull || st.upToDate&(1<<uint(dst)) == 0
+			if !needFull && len(cols) == 0 {
+				// Nothing to tell an up-to-date peer (a row can be dirty
+				// with no column changes after repartitioning establishes
+				// new peers); skip the empty delta.
+				continue
 			}
-			if st.sendFull || st.upToDate&(1<<uint(dst)) == 0 {
-				msgs[dst].add(v, append([]int32(nil), row...), nil, nil)
+			sent = true
+			msg := &pr.msgCells[dst]
+			if used&(1<<uint(dst)) == 0 {
+				used |= 1 << uint(dst)
+				msg.reset()
+			}
+			if needFull {
+				msg.add(v, fullRow, nil, nil)
 			} else {
-				msgs[dst].add(v, nil, cols, vals)
+				msg.add(v, nil, cols, vals)
 			}
+		}
+		if sent {
+			rows++
 		}
 		st.upToDate = mask
-		st.sendCols, st.sendFull = nil, false
+		st.sendCols.Reset()
+		st.sendFull = false
 	}
-	clear(pr.dirtySend)
-	for dst, m := range msgs {
-		if m != nil {
-			mail[dst] = &cluster.Mail{Payload: m, Bytes: m.bytes()}
+	pr.dirtySend.Clear()
+	for dst := 0; dst < e.opts.P; dst++ {
+		if used&(1<<uint(dst)) == 0 {
+			continue
 		}
+		m := &pr.msgCells[dst]
+		pr.mailCells[dst] = cluster.Mail{Payload: m, Bytes: m.bytes()}
+		mail[dst] = &pr.mailCells[dst]
 	}
 	return mail, rows
 }
@@ -624,6 +804,11 @@ func (pr *proc) collectMail(e *Engine) ([]*cluster.Mail, int) {
 // the snapshot, deltas patch it — and relaxes every local row through all
 // changed rows (received snapshots and locally-changed rows). It returns
 // how many local rows changed.
+//
+// Full rows arrive as one copy shared across every destination (and, on the
+// sim runtime, by reference from the sender): they are installed as-is and
+// marked shared, and any later mutation copies first. Replaced owned
+// snapshots are recycled into the row pool.
 func (pr *proc) installAndRelax(e *Engine, in []*cluster.Mail) int {
 	for _, m := range in {
 		if m == nil {
@@ -632,8 +817,14 @@ func (pr *proc) installAndRelax(e *Engine, in []*cluster.Mail) int {
 		msg := m.Payload.(*boundaryMsg)
 		for i, v := range msg.ids {
 			if full := msg.full[i]; full != nil {
+				if old, ok := pr.ext[v]; ok && !pr.extShared.Has(v) {
+					pr.recycleRow(old)
+				}
 				pr.ext[v] = full
-				pr.extPending[v] = &extPending{full: true}
+				pr.extShared.Set(v)
+				p := pr.pendingFor(v)
+				p.full = true
+				p.cols.Release()
 				continue
 			}
 			snap := pr.ext[v]
@@ -641,14 +832,15 @@ func (pr *proc) installAndRelax(e *Engine, in []*cluster.Mail) int {
 				// Defensive: a delta without a snapshot (the owner
 				// believed this peer up to date). Missing entries stay
 				// Inf — sound upper bounds, refined by later sends.
-				snap = make([]int32, e.width)
-				for t := range snap {
-					snap[t] = dv.Inf
-				}
-				if int(v) < e.width {
-					snap[v] = 0
-				}
+				snap = pr.newRowInf(e, v)
 				pr.ext[v] = snap
+				pr.extShared.Clear(v)
+			} else if pr.extShared.Has(v) {
+				// Copy-on-write: the backing array may be read by other
+				// processors holding the same shared full row.
+				snap = pr.newRowCopy(snap)
+				pr.ext[v] = snap
+				pr.extShared.Clear(v)
 			}
 			cols, vals := msg.cols[i], msg.vals[i]
 			for j, c := range cols {
@@ -656,15 +848,32 @@ func (pr *proc) installAndRelax(e *Engine, in []*cluster.Mail) int {
 					snap[c] = vals[j]
 				}
 			}
-			p := pr.extPending[v]
-			if p == nil {
-				p = &extPending{}
-				pr.extPending[v] = p
-			}
-			p.note(e.width, cols)
+			pr.pendingFor(v).note(e.width, cols)
 		}
 	}
 	return pr.relax(e)
+}
+
+// newRowInf returns a pooled width-sized row of Inf with row[v]=0.
+func (pr *proc) newRowInf(e *Engine, v graph.ID) []int32 {
+	var row []int32
+	for n := len(pr.rowPool); n > 0; n = len(pr.rowPool) {
+		r := pr.rowPool[n-1]
+		pr.rowPool[n-1] = nil
+		pr.rowPool = pr.rowPool[:n-1]
+		if cap(r) >= e.width {
+			row = r[:e.width]
+			break
+		}
+	}
+	if row == nil {
+		row = make([]int32, e.width)
+	}
+	dv.FillInf(row)
+	if int(v) < e.width {
+		row[v] = 0
+	}
+	return row
 }
 
 func sortedIDs(set map[graph.ID]bool) []graph.ID {

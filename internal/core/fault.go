@@ -58,7 +58,7 @@ func (e *Engine) FailProcessor(p int) (*FailureRecovery, error) {
 		}
 		for _, v := range other.local {
 			if e.peerMask(v)&pBit != 0 {
-				other.dirtySend[v] = true
+				other.dirtySend.Add(v)
 			}
 		}
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"aacc/internal/dv"
 	"aacc/internal/graph"
+	"aacc/internal/sparse"
 )
 
 // This file is the engine's incremental data path. The recombination update
@@ -29,16 +31,20 @@ import (
 //     decreases, x re-scans that source's full row. The fixpoint then
 //     satisfies the same closure as full scanning, so converged distances
 //     stay exact (property-tested against the sequential oracle).
+//
+// See DESIGN.md ("Incremental data-path memory layout") for the allocation
+// discipline: every per-step structure here is pooled or arena-backed so a
+// steady-state RC step allocates near zero.
 
 // rowState tracks a local row's outgoing-change bookkeeping.
 type rowState struct {
 	// sendCols are columns changed since the row was last sent.
-	sendCols map[int32]struct{}
+	sendCols sparse.Cols
 	// sendFull forces a full-row send (initial state, deletions).
 	sendFull bool
 	// srcCols are columns changed since the row was last used as a
 	// relaxation source for the other local rows.
-	srcCols map[int32]struct{}
+	srcCols sparse.Cols
 	// srcFull forces a full-row source scan.
 	srcFull bool
 	// upToDate is the set of peers whose snapshot has received every
@@ -48,35 +54,26 @@ type rowState struct {
 
 // colCap is the sparse/full threshold: once more than width/colCap columns
 // changed, tracking and shipping the full row is cheaper (a delta entry is
-// a column-value pair, twice the bytes of a dense entry).
+// a column-value pair, twice the bytes of a dense entry). The threshold is
+// on *unique* columns: duplicate change notes never trip it early.
 const colCap = 2
 
 func (st *rowState) noteCols(width int, cols []int32) {
-	st.noteColsInto(&st.sendCols, &st.sendFull, width, cols)
-	st.noteColsInto(&st.srcCols, &st.srcFull, width, cols)
-}
-
-func (st *rowState) noteColsInto(set *map[int32]struct{}, full *bool, width int, cols []int32) {
-	if *full {
-		return
+	if !st.sendFull && st.sendCols.Note(cols, width/colCap) {
+		st.sendFull = true
+		st.sendCols.Release()
 	}
-	if *set == nil {
-		*set = make(map[int32]struct{}, len(cols))
-	}
-	for _, c := range cols {
-		(*set)[c] = struct{}{}
-	}
-	if len(*set) > width/colCap {
-		*full = true
-		*set = nil
+	if !st.srcFull && st.srcCols.Note(cols, width/colCap) {
+		st.srcFull = true
+		st.srcCols.Release()
 	}
 }
 
 func (st *rowState) noteFull() {
 	st.sendFull = true
 	st.srcFull = true
-	st.sendCols = nil
-	st.srcCols = nil
+	st.sendCols.Release()
+	st.srcCols.Release()
 	// Peers may have dropped or hole-punched their snapshots by the time
 	// a row is invalidated wholesale; force full sends to everyone.
 	st.upToDate = 0
@@ -100,8 +97,8 @@ func (pr *proc) noteRowChanged(e *Engine, x graph.ID, cols []int32, queueRescans
 	if len(cols) == 0 {
 		return
 	}
-	pr.dirtySend[x] = true
-	pr.dirtySrc[x] = true
+	pr.dirtySend.Add(x)
+	pr.dirtySrc.Add(x)
 	pr.state(x).noteCols(e.width, cols)
 	if !queueRescans {
 		return
@@ -123,8 +120,8 @@ func (pr *proc) noteRowChanged(e *Engine, x graph.ID, cols []int32, queueRescans
 
 // noteRowFull marks a row as changed wholesale (IA, deletions, migration).
 func (pr *proc) noteRowFull(x graph.ID) {
-	pr.dirtySend[x] = true
-	pr.dirtySrc[x] = true
+	pr.dirtySend.Add(x)
+	pr.dirtySrc.Add(x)
 	pr.state(x).noteFull()
 }
 
@@ -172,44 +169,71 @@ func (pr *proc) relax(e *Engine) int {
 	return changed
 }
 
+// arenaCopy appends cols to the arena and returns the stable view of the
+// copy (never nil — nil means "full scan" to the relax loop). The arena
+// grows by append, so earlier views keep pointing at the old backing array
+// when it reallocates; views are only ever read.
+func arenaCopy(arena *[]int32, cols []int32) []int32 {
+	a := len(*arena)
+	*arena = append(*arena, cols...)
+	return (*arena)[a:len(*arena):len(*arena)]
+}
+
 // gatherSources drains the pending external deltas and dirty local rows
-// into a deterministic source list.
+// into a deterministic (ID-sorted) source list. All scratch — the source
+// list, the ID buffer and the column arena — is per-proc and reused across
+// steps; changed-column lists are copied into the arena so the pending
+// accumulators can be recycled immediately.
 func (pr *proc) gatherSources() []relaxSource {
-	n := len(pr.extPending) + len(pr.dirtySrc)
+	n := len(pr.extPending) + pr.dirtySrc.Len()
 	if n == 0 {
 		return nil
 	}
-	sources := make([]relaxSource, 0, n)
-	for _, id := range sortedPendingIDs(pr.extPending) {
+	if cap(pr.srcBuf) < n {
+		pr.srcBuf = make([]relaxSource, 0, n)
+	}
+	sources := pr.srcBuf[:0]
+	pr.srcArena = pr.srcArena[:0]
+	pr.idBuf = pr.idBuf[:0]
+	for v := range pr.extPending {
+		pr.idBuf = append(pr.idBuf, v)
+	}
+	slices.Sort(pr.idBuf)
+	for _, id := range pr.idBuf {
 		p := pr.extPending[id]
 		src := relaxSource{id: id, row: pr.ext[id]}
 		if !p.full {
-			src.cols = p.cols
+			src.cols = arenaCopy(&pr.srcArena, p.cols.Sorted())
 		}
-		sources = append(sources, src)
-	}
-	for _, id := range sortedIDs(pr.dirtySrc) {
-		st := pr.state(id)
-		src := relaxSource{id: id, row: pr.store.Row(id)}
-		if !st.srcFull {
-			src.cols = sortedCols(st.srcCols)
-		}
-		st.srcCols = nil
-		st.srcFull = false
+		p.cols.Reset()
+		p.full = false
+		pr.pendingPool = append(pr.pendingPool, p)
 		sources = append(sources, src)
 	}
 	clear(pr.extPending)
-	clear(pr.dirtySrc)
+	for _, id := range pr.dirtySrc.Sorted() {
+		st := pr.state(id)
+		src := relaxSource{id: id, row: pr.store.Row(id)}
+		if !st.srcFull {
+			src.cols = arenaCopy(&pr.srcArena, st.srcCols.Sorted())
+		}
+		st.srcCols.Reset()
+		st.srcFull = false
+		sources = append(sources, src)
+	}
+	pr.dirtySrc.Clear()
+	pr.srcBuf = sources
 	return sources
 }
 
 // relaxRowSources relaxes one local row through the given sources, then
 // cascades the DVR rescan rule until stable: any column of x naming a held
 // source that decreased (now, or queued by an earlier mutation) triggers a
-// full scan through that source. Returns the deduplicated changed columns.
+// full scan through that source. Returns the deduplicated changed columns,
+// valid until the next call (shared per-proc scratch).
 func (pr *proc) relaxRowSources(x graph.ID, sources []relaxSource) []int32 {
 	row := pr.store.Row(x)
-	var changed []int32
+	changed := pr.changedBuf[:0]
 	for _, s := range sources {
 		if s.id == x {
 			continue
@@ -219,9 +243,9 @@ func (pr *proc) relaxRowSources(x graph.ID, sources []relaxSource) []int32 {
 			continue
 		}
 		if s.cols == nil {
-			changed = scanFull(row, d, s.row, changed)
+			changed = dv.ScanFull(row, d, s.row, changed)
 		} else {
-			changed = scanCols(row, d, s.row, s.cols, changed)
+			changed = dv.ScanCols(row, d, s.row, s.cols, changed)
 		}
 	}
 	// Rescan cascade. lastScan records d(x,s) at the time source s was
@@ -231,86 +255,49 @@ func (pr *proc) relaxRowSources(x graph.ID, sources []relaxSource) []int32 {
 	// rescans plus this scan's decreased held-source columns, and each
 	// round only the *newly* decreased columns seed the next, so the
 	// cascade terminates with the row closed under every held source.
-	var pending []graph.ID
+	queue := pr.rescanBuf[:0]
 	if set := pr.pendingRescan[x]; len(set) > 0 {
-		pending = make([]graph.ID, 0, len(set))
 		for s := range set {
-			pending = append(pending, s)
+			queue = append(queue, s)
 		}
-		sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+		slices.Sort(queue)
 	}
 	for _, c := range changed {
 		if graph.ID(c) != x && pr.holdsSource(graph.ID(c)) {
-			pending = append(pending, graph.ID(c))
+			queue = append(queue, graph.ID(c))
 		}
 	}
-	var lastScan map[graph.ID]int32
-	for len(pending) > 0 {
-		if lastScan == nil {
-			lastScan = make(map[graph.ID]int32, len(pending))
-		}
-		round := pending
-		pending = nil
-		prevLen := len(changed)
-		for _, s := range round {
-			d := row[s]
-			if d >= dv.Inf {
-				continue
+	if len(queue) > 0 {
+		pr.lastScan.Clear()
+		for head := 0; head < len(queue); {
+			end := len(queue)
+			prevLen := len(changed)
+			for _, s := range queue[head:end] {
+				d := row[s]
+				if d >= dv.Inf {
+					continue
+				}
+				if last, ok := pr.lastScan.Get(s); ok && d >= last {
+					continue // no decrease since the last full scan
+				}
+				srow := pr.sourceRow(s)
+				if srow == nil {
+					continue
+				}
+				pr.lastScan.Set(s, d)
+				changed = dv.ScanFull(row, d, srow, changed)
 			}
-			if last, ok := lastScan[s]; ok && d >= last {
-				continue // no decrease since the last full scan
-			}
-			srow := pr.sourceRow(s)
-			if srow == nil {
-				continue
-			}
-			lastScan[s] = d
-			changed = scanFull(row, d, srow, changed)
-		}
-		for _, c := range changed[prevLen:] {
-			if graph.ID(c) != x && pr.holdsSource(graph.ID(c)) {
-				pending = append(pending, graph.ID(c))
-			}
-		}
-	}
-	return dedupCols(changed)
-}
-
-// scanFull relaxes row through every column of srow with base distance d,
-// appending changed columns. The hot loop of the whole engine.
-func scanFull(row []int32, d int32, srow []int32, changed []int32) []int32 {
-	limit := dv.Inf - d // guards overflow and Inf entries with one compare
-	n := len(srow)
-	if n > len(row) {
-		n = len(row)
-	}
-	for t := 0; t < n; t++ {
-		st := srow[t]
-		if st < limit {
-			if nd := d + st; nd < row[t] {
-				row[t] = nd
-				changed = append(changed, int32(t))
+			head = end
+			for _, c := range changed[prevLen:] {
+				if graph.ID(c) != x && pr.holdsSource(graph.ID(c)) {
+					queue = append(queue, graph.ID(c))
+				}
 			}
 		}
 	}
-	return changed
-}
-
-// scanCols relaxes row through the given columns of srow only.
-func scanCols(row []int32, d int32, srow []int32, cols []int32, changed []int32) []int32 {
-	limit := dv.Inf - d
-	for _, t := range cols {
-		if int(t) >= len(srow) || int(t) >= len(row) {
-			continue
-		}
-		st := srow[t]
-		if st < limit {
-			if nd := d + st; nd < row[t] {
-				row[t] = nd
-				changed = append(changed, t)
-			}
-		}
-	}
+	pr.rescanBuf = queue[:0]
+	changed = dedupCols(changed)
+	pr.changedBuf = changed
 	return changed
 }
 
@@ -348,14 +335,18 @@ func (pr *proc) relaxThroughEdges(e *Engine, edges []graph.EdgeTriple, endRows m
 	changedRows := 0
 	for _, x := range pr.local {
 		row := pr.store.Row(x)
-		var changed []int32
+		changed := pr.changedBuf[:0]
 		for _, ed := range edges {
 			changed = relaxRowThroughEdge(row, ed.U, ed.W, endRows[ed.V], changed)
 			changed = relaxRowThroughEdge(row, ed.V, ed.W, endRows[ed.U], changed)
 		}
 		if len(changed) > 0 {
 			changedRows++
-			pr.noteRowChanged(e, x, dedupCols(changed), true)
+			changed = dedupCols(changed)
+			pr.changedBuf = changed
+			pr.noteRowChanged(e, x, changed, true)
+		} else {
+			pr.changedBuf = changed
 		}
 	}
 	return changedRows
@@ -375,7 +366,7 @@ func relaxRowThroughEdge(row []int32, u graph.ID, w int32, vRow []int32, changed
 	if base >= dv.Inf {
 		return changed
 	}
-	return scanFull(row, base, vRow, changed)
+	return dv.ScanFull(row, base, vRow, changed)
 }
 
 // invalidateThroughEdge applies the deletion invalidation sweep for one
@@ -432,18 +423,7 @@ func invalidateThroughEdge(pristine, row []int32, self graph.ID, u, v graph.ID, 
 // changed columns. Used to reuse partial results when re-running local
 // Dijkstra after deletions or repartitioning.
 func mergeMin(dst, src []int32) []int32 {
-	var changed []int32
-	n := len(src)
-	if n > len(dst) {
-		n = len(dst)
-	}
-	for t := 0; t < n; t++ {
-		if src[t] < dst[t] {
-			dst[t] = src[t]
-			changed = append(changed, int32(t))
-		}
-	}
-	return changed
+	return dv.MergeMin(dst, src, nil)
 }
 
 // dedupCols sorts and deduplicates a changed-column list in place.
@@ -451,7 +431,7 @@ func dedupCols(cols []int32) []int32 {
 	if len(cols) < 2 {
 		return cols
 	}
-	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	slices.Sort(cols)
 	out := cols[:1]
 	for _, c := range cols[1:] {
 		if c != out[len(out)-1] {
@@ -459,25 +439,6 @@ func dedupCols(cols []int32) []int32 {
 		}
 	}
 	return out
-}
-
-// sortedCols flattens a column set deterministically.
-func sortedCols(set map[int32]struct{}) []int32 {
-	out := make([]int32, 0, len(set))
-	for c := range set {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedPendingIDs(m map[graph.ID]*extPending) []graph.ID {
-	ids := make([]graph.ID, 0, len(m))
-	for v := range m {
-		ids = append(ids, v)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }
 
 // sortedEdgeList returns edges sorted for deterministic sweeps.

@@ -203,12 +203,24 @@ type RepartitionResult struct {
 // incremental DV relaxation, the whole grown graph is repartitioned with the
 // DD partitioner, existing vertices migrate to their new owners *with their
 // partial results* (the anytime property: nothing is recomputed from
-// scratch), new and migrated rows are re-seeded from local Dijkstra runs
-// merged over the surviving estimates, and every row is queued for exchange
-// so the following RC steps re-reach the fixpoint. A nil batch repartitions
-// without adding vertices (pure rebalancing).
+// scratch), and new and migrated rows are re-seeded from local Dijkstra runs
+// merged over the surviving estimates. A nil batch repartitions without
+// adding vertices (pure rebalancing).
+//
+// Repartitioning changes no edges, so every boundary snapshot a processor
+// holds remains a valid upper bound. Snapshots therefore survive: a migrated
+// row carries its flow metadata (unsent column changes, which peers hold an
+// up-to-date snapshot) to the new owner, who resumes the delta stream where
+// the old one stopped. Only the boundary pairs that actually changed pay
+// wire bytes — full rows go to new peers, snapshots of pairs that ceased are
+// pruned — instead of re-shipping every boundary row wholesale. The relax
+// closure the old full exchange provided is kept as pure compute: every
+// local row is re-marked as a full relaxation source and every held snapshot
+// gets a full pending scan, so the following RC steps re-reach the exact
+// fixpoint.
 func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 	res := &RepartitionResult{}
+	firstNew := graph.ID(e.g.NumIDs()) // batch vertices get IDs >= firstNew
 	if batch != nil {
 		if err := batch.Validate(); err != nil {
 			return nil, err
@@ -234,8 +246,15 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 	assign := e.opts.Partitioner.Partition(e.g, e.opts.P)
 	e.remapPartsToOwners(assign)
 	e.rt.AccountCompute(time.Since(start))
+	// Ownership changes wholesale below; every cached peer mask is stale.
+	e.invalidateAllMasks()
 
-	// Migrate rows whose owner changed, shipping the partial results.
+	// Migrate rows whose owner changed, shipping the partial results along
+	// with the row's flow metadata (unsent changes, up-to-date peer set).
+	// Migration traffic is batched per (source, destination) processor pair —
+	// one message carries every row moving between the pair — so the model's
+	// per-message cost is paid per pair, not per row.
+	migBytes := make([]int, e.opts.P*e.opts.P)
 	for _, v := range e.g.Vertices() {
 		oldOwner := int(e.owner[v])
 		newOwner := assign.Of(v)
@@ -248,38 +267,130 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 			src := e.procs[oldOwner]
 			row := src.store.RemoveRow(v)
 			src.isLocal[v] = false
-			delete(src.dirtySend, v)
-			delete(src.dirtySrc, v)
-			e.rt.AccountPointToPoint(4 + 4*len(row))
-			dst.store.AdoptRow(v, row)
+			wasDirty := src.dirtySend.Remove(v)
+			src.dirtySrc.Remove(v)
+			st := src.meta[v]
+			delete(src.meta, v)
+			snap, hasSnap := dst.ext[v]
+			if hasSnap && st != nil && !st.sendFull && st.upToDate&(1<<uint(newOwner)) != 0 {
+				// The new owner already holds a current snapshot (it was a
+				// boundary neighbour): promote it to the owned row and ship
+				// only the columns changed since the last send.
+				cols := st.sendCols.Sorted()
+				migBytes[oldOwner*e.opts.P+newOwner] += 4 + 8*len(cols)
+				if dst.extShared.Has(v) {
+					snap = dst.newRowCopy(snap)
+				}
+				delete(dst.ext, v)
+				dst.extShared.Clear(v)
+				if pd, ok := dst.extPending[v]; ok {
+					delete(dst.extPending, v)
+					pd.cols.Reset()
+					pd.full = false
+					dst.pendingPool = append(dst.pendingPool, pd)
+				}
+				for _, c := range cols {
+					snap[c] = row[c]
+				}
+				dst.store.AdoptRow(v, snap)
+				src.recycleRow(row)
+			} else {
+				migBytes[oldOwner*e.opts.P+newOwner] += 4 + 4*len(row)
+				dst.store.AdoptRow(v, row)
+			}
+			if st != nil {
+				dst.meta[v] = st
+			}
+			if wasDirty {
+				dst.dirtySend.Add(v)
+			}
 			res.Migrated++
 		} else {
 			dst.store.AddRow(v) // new batch vertex
 		}
 		dst.isLocal[v] = true
 	}
-	// Rebuild per-processor vertex lists and drop all snapshots and change
-	// bookkeeping: boundary relationships changed wholesale.
+	for _, b := range migBytes {
+		if b > 0 {
+			e.rt.AccountPointToPoint(b)
+		}
+	}
+	// Rebuild per-processor vertex lists. Snapshots and flow metadata are
+	// kept — only the boundary pairs that ceased are pruned below.
 	e.rt.Parallel(func(p int) {
-		pr := e.procs[p]
-		pr.local = pr.local[:0]
-		pr.forgetFlow()
+		e.procs[p].local = e.procs[p].local[:0]
 	})
 	for _, v := range e.g.Vertices() {
 		e.procs[e.owner[v]].local = append(e.procs[e.owner[v]].local, v)
 	}
-	// Re-seed every row from a fresh local Dijkstra merged over the
-	// surviving estimates (IA-quality local closure on the new subgraphs),
-	// and queue everything for exchange.
+	// Warm the peer-mask cache sequentially: the parallel pass below reads
+	// masks of non-local vertices, and the cache's no-race rule is that only
+	// a vertex's owner may *write* its entry during parallel phases.
+	for _, v := range e.g.Vertices() {
+		e.peerMask(v)
+	}
 	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		sort.Slice(pr.local, func(i, j int) bool { return pr.local[i] < pr.local[j] })
+		pBit := uint64(1) << uint(p)
+		// Prune snapshots of vertices now local to this processor or no
+		// longer boundary-adjacent to it (their owner clears our up-to-date
+		// bit below, so a later re-pairing starts with a full send).
+		for s, row := range pr.ext {
+			if (int(s) < len(pr.isLocal) && pr.isLocal[s]) || e.peerMask(s)&pBit == 0 {
+				delete(pr.ext, s)
+				if !pr.extShared.Has(s) {
+					pr.recycleRow(row)
+				}
+				pr.extShared.Clear(s)
+				if pd, ok := pr.extPending[s]; ok {
+					delete(pr.extPending, s)
+					pd.cols.Reset()
+					pd.full = false
+					pr.pendingPool = append(pr.pendingPool, pd)
+				}
+			}
+		}
+		// Relax closure: migrated rows have never been relaxed against this
+		// processor's sources (and vice versa), so mark every surviving
+		// snapshot and every local row for a full source scan — the compute
+		// the old full exchange triggered, without the bytes. This subsumes
+		// any pending deltas and rescans.
+		for s := range pr.ext {
+			pd := pr.pendingFor(s)
+			pd.full = true
+			pd.cols.Release()
+		}
+		clear(pr.pendingRescan)
 		pr.ensureScratch(e.width)
 		for _, v := range pr.local {
 			pr.isLocal[v] = true
+			mask := e.peerMask(v)
+			st := pr.state(v)
+			// Only current peers may receive deltas: a stale bit for a
+			// pruned peer must force a full row on re-pairing.
+			st.upToDate &= mask
+			st.srcFull = true
+			st.srcCols.Release()
+			pr.dirtySrc.Add(v)
+			// Re-seed from a fresh local Dijkstra merged over the surviving
+			// estimates (IA-quality local closure on the new subgraph).
 			sssp.DijkstraLocal(e.g, v, pr.isLocal, pr.scratch, pr.heap)
-			mergeMin(pr.store.Row(v), pr.scratch)
-			pr.noteRowFull(v)
+			if v >= firstNew {
+				// New batch vertices: nobody holds a snapshot yet.
+				mergeMin(pr.store.Row(v), pr.scratch)
+				pr.noteRowFull(v)
+				continue
+			}
+			if cols := mergeMin(pr.store.Row(v), pr.scratch); len(cols) > 0 {
+				pr.dirtySend.Add(v)
+				st.noteCols(e.width, cols)
+			}
+			// New peers hold no snapshot: queue the row so collectMail
+			// ships them a full copy (up-to-date peers get nothing).
+			if mask&^st.upToDate != 0 {
+				pr.dirtySend.Add(v)
+			}
 		}
 	})
 	e.trace("repartition", "%d migrated, %d new vertices", res.Migrated, len(res.NewIDs))

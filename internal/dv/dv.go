@@ -31,6 +31,7 @@ func SatAdd(a, b int32) int32 {
 type Store struct {
 	rows  map[int32][]int32
 	width int
+	free  [][]int32 // retired rows recycled by alloc; see DiscardRow/Reset
 }
 
 // NewStore returns an empty store whose rows span width global IDs.
@@ -44,16 +45,39 @@ func (s *Store) Width() int { return s.width }
 // Len returns the number of rows (local vertices) in the store.
 func (s *Store) Len() int { return len(s.rows) }
 
+// alloc returns a width-sized row, recycling the free list when possible.
+// Contents are unspecified; callers must initialise every entry.
+func (s *Store) alloc() []int32 {
+	for n := len(s.free); n > 0; n = len(s.free) {
+		row := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		if cap(row) >= s.width {
+			return row[:s.width]
+		}
+	}
+	return make([]int32, s.width)
+}
+
+// FillInf sets every entry of row to Inf (doubling-copy, ~memset speed).
+func FillInf(row []int32) {
+	if len(row) == 0 {
+		return
+	}
+	row[0] = Inf
+	for i := 1; i < len(row); i *= 2 {
+		copy(row[i:], row[:i])
+	}
+}
+
 // AddRow creates a row for global vertex v, initialised to Inf except
 // dist(v,v)=0. It panics if the row exists — processors own disjoint rows.
 func (s *Store) AddRow(v int32) {
 	if _, ok := s.rows[v]; ok {
 		panic("dv: AddRow of existing row")
 	}
-	row := make([]int32, s.width)
-	for i := range row {
-		row[i] = Inf
-	}
+	row := s.alloc()
+	FillInf(row)
 	if int(v) < s.width {
 		row[v] = 0
 	}
@@ -74,11 +98,30 @@ func (s *Store) AdoptRow(v int32, row []int32) {
 	s.rows[v] = row
 }
 
-// RemoveRow deletes and returns the row of v (nil if absent).
+// RemoveRow deletes and returns the row of v (nil if absent). Ownership of
+// the row transfers to the caller (the vertex-migration path).
 func (s *Store) RemoveRow(v int32) []int32 {
 	row := s.rows[v]
 	delete(s.rows, v)
 	return row
+}
+
+// DiscardRow deletes the row of v and recycles its backing array through the
+// free list. Callers must not retain references to the row.
+func (s *Store) DiscardRow(v int32) {
+	if row := s.rows[v]; row != nil {
+		delete(s.rows, v)
+		s.free = append(s.free, row)
+	}
+}
+
+// Reset drops every row, recycling all backing arrays. Width is preserved:
+// the store is ready to repopulate at the same ID-space size (crash recovery).
+func (s *Store) Reset() {
+	for v, row := range s.rows {
+		delete(s.rows, v)
+		s.free = append(s.free, row)
+	}
 }
 
 // Row returns the row of v, or nil if v is not local. The slice is owned by

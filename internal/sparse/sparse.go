@@ -1,0 +1,243 @@
+// Package sparse provides the allocation-free change-tracking structures of
+// the engine's incremental data path: generation-stamped sparse sets and
+// maps over small integer keys (vertex IDs, DV columns), an amortised-dedup
+// column accumulator, and a growable bitset.
+//
+// The recombination step must cost time proportional to actual change
+// volume, and in steady state that volume is tiny — a handful of dirty rows
+// with a handful of changed columns each. Tracking that through Go maps
+// (hash per insert, iterate-and-sort per flatten, one allocation per set)
+// made the bookkeeping dominate the step. Every structure here instead
+// clears in O(1) by bumping a generation stamp, reuses its backing arrays
+// across steps, and flattens deterministically (sorted) without allocating.
+package sparse
+
+import "slices"
+
+// Set is a generation-stamped sparse set over non-negative int32 keys.
+// Add, Has, Remove and Clear are O(1); the zero value is ready to use and
+// backing arrays grow on demand and are reused across Clears.
+type Set struct {
+	dense []int32  // members in insertion order (sorted after Sorted)
+	pos   []int32  // pos[v] = index of v in dense, valid iff stamp[v] == gen
+	stamp []uint32 // stamp[v] == gen marks membership
+	gen   uint32   // current generation; 0 is never a live generation
+}
+
+// grow widens the stamp/pos arrays to cover key v.
+func (s *Set) grow(v int32) {
+	n := int(v) + 1
+	if n < 2*len(s.stamp) {
+		n = 2 * len(s.stamp)
+	}
+	stamp := make([]uint32, n)
+	copy(stamp, s.stamp)
+	s.stamp = stamp
+	pos := make([]int32, n)
+	copy(pos, s.pos)
+	s.pos = pos
+}
+
+// Add inserts v, reporting whether it was newly added.
+func (s *Set) Add(v int32) bool {
+	if int(v) >= len(s.stamp) {
+		s.grow(v)
+	}
+	if s.gen == 0 {
+		s.gen = 1
+	}
+	if s.stamp[v] == s.gen {
+		return false
+	}
+	s.stamp[v] = s.gen
+	s.pos[v] = int32(len(s.dense))
+	s.dense = append(s.dense, v)
+	return true
+}
+
+// Has reports membership of v.
+func (s *Set) Has(v int32) bool {
+	return int(v) < len(s.stamp) && s.gen != 0 && s.stamp[v] == s.gen
+}
+
+// Remove deletes v (swap-with-last), reporting whether it was a member.
+func (s *Set) Remove(v int32) bool {
+	if !s.Has(v) {
+		return false
+	}
+	i := s.pos[v]
+	last := s.dense[len(s.dense)-1]
+	s.dense[i] = last
+	s.pos[last] = i
+	s.dense = s.dense[:len(s.dense)-1]
+	s.stamp[v] = 0
+	return true
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.dense) }
+
+// Clear empties the set in O(1) by bumping the generation. The slice last
+// returned by Sorted (or Dense) is invalidated.
+func (s *Set) Clear() {
+	s.dense = s.dense[:0]
+	s.gen++
+	if s.gen == 0 { // wrapped: stale stamps could collide, so reset them
+		clear(s.stamp)
+		s.gen = 1
+	}
+}
+
+// Dense returns the members in insertion order. The slice is owned by the
+// set: valid only until the next Add/Remove/Clear, and Sorted reorders it.
+func (s *Set) Dense() []int32 { return s.dense }
+
+// Sorted sorts the members in place (ascending) and returns them, fixing the
+// internal positions so Remove keeps working. Same ownership rules as Dense.
+func (s *Set) Sorted() []int32 {
+	slices.Sort(s.dense)
+	for i, v := range s.dense {
+		s.pos[v] = int32(i)
+	}
+	return s.dense
+}
+
+// Cols accumulates changed DV column lists with deduplication deferred until
+// it matters. Per-row change sets need this shape: a width-sized stamp array
+// per row would multiply the engine's memory by the row count, so Cols keeps
+// only the appended columns and dedups (sort + compact, in place) when the
+// unique count must be known — at the sparse/full threshold check and at
+// flatten time. Callers append already-deduplicated per-relax column lists,
+// so the list stays near its unique size between dedups.
+type Cols struct {
+	list []int32
+}
+
+// Note appends cols and reports whether the unique column count now exceeds
+// max — the signal to abandon sparse tracking and go full-row. The count is
+// exact: duplicates never trip the threshold early.
+func (c *Cols) Note(cols []int32, max int) (overflow bool) {
+	c.list = append(c.list, cols...)
+	if len(c.list) <= max {
+		return false
+	}
+	c.dedup()
+	return len(c.list) > max
+}
+
+// Sorted dedups in place and returns the sorted unique columns. The slice is
+// owned by the accumulator: valid only until the next Note/Reset/Release.
+func (c *Cols) Sorted() []int32 {
+	c.dedup()
+	return c.list
+}
+
+// Len returns the current (possibly duplicate-inflated) list length.
+func (c *Cols) Len() int { return len(c.list) }
+
+// Reset empties the accumulator, keeping its capacity for reuse.
+func (c *Cols) Reset() { c.list = c.list[:0] }
+
+// Release empties the accumulator and frees its backing array (used when a
+// row goes full: the tracked set was just proven large, so holding the
+// buffer would pin ~width/2 ints per full row).
+func (c *Cols) Release() { c.list = nil }
+
+func (c *Cols) dedup() {
+	if len(c.list) < 2 {
+		return
+	}
+	slices.Sort(c.list)
+	out := c.list[:1]
+	for _, v := range c.list[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	c.list = out
+}
+
+// I32Map is a generation-stamped map from non-negative int32 keys to int32
+// values with O(1) Clear. The zero value is ready to use; backing arrays
+// grow on demand and are reused across Clears. The engine uses one per
+// processor for the DVR rescan rule's last-scanned-distance bookkeeping.
+type I32Map struct {
+	val   []int32
+	stamp []uint32
+	gen   uint32
+}
+
+// Get returns the value for k and whether it is present.
+func (m *I32Map) Get(k int32) (int32, bool) {
+	if int(k) >= len(m.stamp) || m.gen == 0 || m.stamp[k] != m.gen {
+		return 0, false
+	}
+	return m.val[k], true
+}
+
+// Set stores v under k.
+func (m *I32Map) Set(k int32, v int32) {
+	if int(k) >= len(m.stamp) {
+		n := int(k) + 1
+		if n < 2*len(m.stamp) {
+			n = 2 * len(m.stamp)
+		}
+		stamp := make([]uint32, n)
+		copy(stamp, m.stamp)
+		m.stamp = stamp
+		val := make([]int32, n)
+		copy(val, m.val)
+		m.val = val
+	}
+	if m.gen == 0 {
+		m.gen = 1
+	}
+	m.stamp[k] = m.gen
+	m.val[k] = v
+}
+
+// Clear empties the map in O(1).
+func (m *I32Map) Clear() {
+	m.gen++
+	if m.gen == 0 {
+		clear(m.stamp)
+		m.gen = 1
+	}
+}
+
+// Bits is a growable bitset over non-negative int32 keys. The zero value is
+// ready to use.
+type Bits struct {
+	words []uint64
+}
+
+// Set marks bit v.
+func (b *Bits) Set(v int32) {
+	w := int(v >> 6)
+	if w >= len(b.words) {
+		n := w + 1
+		if n < 2*len(b.words) {
+			n = 2 * len(b.words)
+		}
+		words := make([]uint64, n)
+		copy(words, b.words)
+		b.words = words
+	}
+	b.words[w] |= 1 << uint(v&63)
+}
+
+// Clear unmarks bit v.
+func (b *Bits) Clear(v int32) {
+	if w := int(v >> 6); w < len(b.words) {
+		b.words[w] &^= 1 << uint(v&63)
+	}
+}
+
+// Has reports whether bit v is set.
+func (b *Bits) Has(v int32) bool {
+	w := int(v >> 6)
+	return w < len(b.words) && b.words[w]&(1<<uint(v&63)) != 0
+}
+
+// Reset clears every bit, keeping the backing array.
+func (b *Bits) Reset() { clear(b.words) }

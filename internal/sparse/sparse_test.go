@@ -1,0 +1,237 @@
+package sparse
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Has(3) {
+		t.Fatal("zero set not empty")
+	}
+	if !s.Add(5) || !s.Add(2) || !s.Add(9) {
+		t.Fatal("fresh adds must report true")
+	}
+	if s.Add(5) {
+		t.Fatal("duplicate add must report false")
+	}
+	if s.Len() != 3 || !s.Has(5) || !s.Has(2) || !s.Has(9) || s.Has(4) {
+		t.Fatalf("membership wrong: %v", s.Dense())
+	}
+	if got := s.Sorted(); !slices.Equal(got, []int32{2, 5, 9}) {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if !s.Remove(5) || s.Remove(5) || s.Has(5) || s.Len() != 2 {
+		t.Fatal("remove after Sorted broken")
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Has(2) || s.Has(9) {
+		t.Fatal("clear broken")
+	}
+	if !s.Add(2) {
+		t.Fatal("re-add after clear must report true")
+	}
+}
+
+func TestSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Set
+	ref := make(map[int32]bool)
+	for op := 0; op < 20000; op++ {
+		v := int32(rng.Intn(300))
+		switch rng.Intn(5) {
+		case 0:
+			if s.Remove(v) != ref[v] {
+				t.Fatalf("op %d: Remove(%d) disagrees", op, v)
+			}
+			delete(ref, v)
+		case 1:
+			s.Clear()
+			clear(ref)
+		case 2:
+			_ = s.Sorted() // must not corrupt the set
+		default:
+			if s.Add(v) == ref[v] {
+				t.Fatalf("op %d: Add(%d) disagrees", op, v)
+			}
+			ref[v] = true
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("op %d: len %d != %d", op, s.Len(), len(ref))
+		}
+	}
+	want := make([]int32, 0, len(ref))
+	for v := range ref {
+		want = append(want, v)
+	}
+	slices.Sort(want)
+	if !slices.Equal(s.Sorted(), want) {
+		t.Fatalf("final members %v != %v", s.Sorted(), want)
+	}
+}
+
+func TestSetGenerationWrap(t *testing.T) {
+	var s Set
+	s.Add(1)
+	s.gen = ^uint32(0) // force the wrap on the next Clear
+	s.stamp[1] = s.gen
+	s.Clear()
+	if s.Has(1) {
+		t.Fatal("stale member survived generation wrap")
+	}
+	if !s.Add(1) || !s.Has(1) {
+		t.Fatal("set unusable after generation wrap")
+	}
+}
+
+func TestColsDedupAndThreshold(t *testing.T) {
+	var c Cols
+	// 60 notes of the same column must never overflow a threshold of 2:
+	// the unique count is 1 (the duplicate-inflation regression).
+	for i := 0; i < 60; i++ {
+		if c.Note([]int32{7}, 2) {
+			t.Fatalf("note %d: duplicate columns tripped the threshold", i)
+		}
+	}
+	if got := c.Sorted(); !slices.Equal(got, []int32{7}) {
+		t.Fatalf("Sorted = %v, want [7]", got)
+	}
+	if !c.Note([]int32{3, 9}, 2) {
+		t.Fatal("3 unique must overflow max 2")
+	}
+}
+
+func TestColsOverflowExact(t *testing.T) {
+	var c Cols
+	if c.Note([]int32{1, 2, 3}, 3) {
+		t.Fatal("3 unique must not overflow max 3 (threshold is strict >)")
+	}
+	if !c.Note([]int32{4}, 3) {
+		t.Fatal("4 unique must overflow max 3")
+	}
+	c.Release()
+	if c.Note([]int32{5, 5, 5, 5, 5}, 1) {
+		t.Fatal("1 unique must not overflow max 1 despite 5 entries")
+	}
+	if got := c.Sorted(); !slices.Equal(got, []int32{5}) {
+		t.Fatalf("Sorted = %v, want [5]", got)
+	}
+}
+
+func TestColsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var c Cols
+		ref := make(map[int32]bool)
+		max := 1 + rng.Intn(20)
+		over := false
+		for n := 0; n < 30 && !over; n++ {
+			batch := make([]int32, 1+rng.Intn(6))
+			for i := range batch {
+				batch[i] = int32(rng.Intn(40))
+				ref[batch[i]] = true
+			}
+			over = c.Note(batch, max)
+			if want := len(ref) > max; over != want {
+				t.Fatalf("trial %d: overflow=%v with %d unique, max %d", trial, over, len(ref), max)
+			}
+		}
+		if over {
+			continue
+		}
+		want := make([]int32, 0, len(ref))
+		for v := range ref {
+			want = append(want, v)
+		}
+		slices.Sort(want)
+		if !slices.Equal(c.Sorted(), want) {
+			t.Fatalf("trial %d: %v != %v", trial, c.Sorted(), want)
+		}
+	}
+}
+
+func TestI32Map(t *testing.T) {
+	var m I32Map
+	if _, ok := m.Get(3); ok {
+		t.Fatal("zero map not empty")
+	}
+	m.Set(3, 42)
+	m.Set(100, 7)
+	m.Set(3, 43)
+	if v, ok := m.Get(3); !ok || v != 43 {
+		t.Fatalf("Get(3) = %d,%v", v, ok)
+	}
+	if v, ok := m.Get(100); !ok || v != 7 {
+		t.Fatalf("Get(100) = %d,%v", v, ok)
+	}
+	if _, ok := m.Get(4); ok {
+		t.Fatal("absent key present")
+	}
+	m.Clear()
+	if _, ok := m.Get(3); ok {
+		t.Fatal("clear broken")
+	}
+	m.Set(3, 1)
+	if v, ok := m.Get(3); !ok || v != 1 {
+		t.Fatal("set after clear broken")
+	}
+}
+
+func TestBits(t *testing.T) {
+	var b Bits
+	if b.Has(0) || b.Has(200) {
+		t.Fatal("zero bits not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(200)
+	for _, v := range []int32{0, 63, 64, 200} {
+		if !b.Has(v) {
+			t.Fatalf("bit %d lost", v)
+		}
+	}
+	if b.Has(1) || b.Has(128) {
+		t.Fatal("unset bit reported")
+	}
+	b.Clear(63)
+	if b.Has(63) || !b.Has(64) {
+		t.Fatal("Clear(63) wrong")
+	}
+	b.Reset()
+	for _, v := range []int32{0, 64, 200} {
+		if b.Has(v) {
+			t.Fatalf("bit %d survived Reset", v)
+		}
+	}
+}
+
+func BenchmarkSetAddClear(b *testing.B) {
+	var s Set
+	for i := 0; i < b.N; i++ {
+		for v := int32(0); v < 64; v++ {
+			s.Add(v * 13 % 512)
+		}
+		_ = s.Sorted()
+		s.Clear()
+	}
+}
+
+func BenchmarkMapAddClear(b *testing.B) {
+	// The structure Set replaces, for the DESIGN.md numbers.
+	m := make(map[int32]bool, 64)
+	for i := 0; i < b.N; i++ {
+		for v := int32(0); v < 64; v++ {
+			m[v*13%512] = true
+		}
+		ids := make([]int32, 0, len(m))
+		for v := range m {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		clear(m)
+	}
+}
