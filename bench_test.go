@@ -10,8 +10,10 @@ package aacc
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
+	"aacc/internal/anytime"
 	"aacc/internal/centrality"
 	"aacc/internal/clique"
 	"aacc/internal/core"
@@ -85,14 +87,15 @@ func BenchmarkFig4(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := benchEngine(b, add.Base.Clone())
 			mustRun(b, e)
-			first := e.Graph().AddVertices(add.Batch.Count)
+			g2 := e.Graph().Clone()
+			first := g2.AddVertices(add.Batch.Count)
 			for _, ed := range add.Batch.Internal {
-				e.Graph().AddEdge(first+graph.ID(ed.A), first+graph.ID(ed.B), ed.W)
+				g2.AddEdge(first+graph.ID(ed.A), first+graph.ID(ed.B), ed.W)
 			}
 			for _, ed := range add.Batch.External {
-				e.Graph().AddEdge(first+graph.ID(ed.New), ed.To, ed.W)
+				g2.AddEdge(first+graph.ID(ed.New), ed.To, ed.W)
 			}
-			e.Reinitialize()
+			e.ReinitializeFrom(g2)
 			mustRun(b, e)
 		}
 	})
@@ -164,19 +167,20 @@ func BenchmarkFig8(b *testing.B) {
 				chunk := inc.Next()
 				switch method {
 				case "restart":
-					first := e.Graph().AddVertices(chunk.Count)
+					g2 := e.Graph().Clone()
+					first := g2.AddVertices(chunk.Count)
 					ids := make([]graph.ID, chunk.Count)
 					for j := range ids {
 						ids[j] = first + graph.ID(j)
 					}
 					for _, ed := range chunk.Internal {
-						e.Graph().AddEdge(ids[ed.A], ids[ed.B], ed.W)
+						g2.AddEdge(ids[ed.A], ids[ed.B], ed.W)
 					}
 					for _, ed := range chunk.External {
-						e.Graph().AddEdge(ids[ed.New], ed.To, ed.W)
+						g2.AddEdge(ids[ed.New], ed.To, ed.W)
 					}
 					inc.NoteIDs(ids)
-					e.Reinitialize()
+					e.ReinitializeFrom(g2)
 					mustRun(b, e)
 				case "rr":
 					ids, err := e.ApplyVertexAdditions(chunk, rr)
@@ -219,10 +223,11 @@ func BenchmarkEA1(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := benchEngine(b, base.Clone())
 			mustRun(b, e)
+			g2 := e.Graph().Clone()
 			for _, ed := range adds {
-				e.Graph().AddEdge(ed.U, ed.V, ed.W)
+				g2.AddEdge(ed.U, ed.V, ed.W)
 			}
-			e.Reinitialize()
+			e.ReinitializeFrom(g2)
 			mustRun(b, e)
 		}
 	})
@@ -246,10 +251,11 @@ func BenchmarkED1(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := benchEngine(b, base.Clone())
 			mustRun(b, e)
+			g2 := e.Graph().Clone()
 			for _, d := range dels {
-				e.Graph().RemoveEdge(d[0], d[1])
+				g2.RemoveEdge(d[0], d[1])
 			}
-			e.Reinitialize()
+			e.ReinitializeFrom(g2)
 			mustRun(b, e)
 		}
 	})
@@ -479,6 +485,37 @@ func BenchmarkAblationPartitioners(b *testing.B) {
 	b.Run("RoundRobin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = (partition.RoundRobin{}).Partition(g, benchP)
+		}
+	})
+}
+
+// BenchmarkSnapshotQuery measures the anytime session's lock-free read path:
+// concurrent goroutines load the current epoch snapshot and read a distance
+// from it, the query pattern the session layer serves while the
+// orchestration goroutine owns the engine.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	s, err := anytime.New(context.Background(), g, anytime.Options{
+		Engine: core.Options{P: benchP, Seed: benchSeed, Partitioner: partition.Multilevel{Seed: benchSeed}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := graph.ID(1)
+		for pb.Next() {
+			sn := s.Snapshot()
+			if sn.Distance(0, v) < 0 {
+				b.Fatal("negative distance")
+			}
+			if v++; int(v) >= benchN {
+				v = 1
+			}
 		}
 	})
 }

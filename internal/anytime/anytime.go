@@ -1,0 +1,490 @@
+// Package anytime wraps a core.Engine in a Session: a concurrency layer that
+// makes the paper's anytime property operational. The engine itself is
+// single-threaded — one goroutine owns it and drives RC steps — while any
+// number of goroutines query immutable epoch snapshots lock-free and submit
+// graph mutations through a serialized queue that is drained at step
+// boundaries. This is the deployment shape the paper motivates: a
+// long-running closeness-centrality analysis over a live network, answering
+// "who is central right now" at any moment while edits stream in.
+//
+// Three guarantees:
+//
+//   - Snapshots are immutable and consistent: every distance row is a deep
+//     copy taken at one step boundary (the engine's dv.Store recycles row
+//     arrays through a free list, so sharing live rows would be unsound),
+//     and all rows in one snapshot come from the same step.
+//   - Mutations are serialized: Apply* calls from any goroutine enqueue a
+//     command; the orchestration goroutine applies it between steps, then
+//     publishes a fresh snapshot before the call returns. Two concurrent
+//     mutators never interleave inside the engine.
+//   - Anytime reads: a snapshot taken mid-run holds exactly the distance
+//     upper bounds the engine would report if stopped at that step; between
+//     deletions they only improve as epochs advance.
+package anytime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aacc/internal/centrality"
+	"aacc/internal/cluster"
+	"aacc/internal/core"
+	"aacc/internal/dv"
+	"aacc/internal/graph"
+	"aacc/internal/trace"
+)
+
+// ErrClosed is returned by session operations after Close (or after the
+// session's context was cancelled).
+var ErrClosed = errors.New("anytime: session closed")
+
+// Options configures a Session.
+type Options struct {
+	// Engine configures the wrapped engine (P, partitioner, model, ...).
+	// Engine.MaxSteps is ignored; use StepBudget instead. Engine.Tracer,
+	// if set, additionally receives the session's epoch/mutation/query
+	// events (emitted from the orchestration goroutine).
+	Engine core.Options
+
+	// PublishEvery publishes a snapshot every k RC steps (default 1).
+	// Snapshots are also always published on convergence, on exhaustion,
+	// and after every applied mutation, regardless of this cadence.
+	PublishEvery int
+
+	// StepBudget stops stepping after this many RC steps (0 = unlimited).
+	// Steps run inside barrier-mode deletions (ApplyEdgeDeletions converges
+	// the analysis internally) count against the budget. An exhausted
+	// session still applies mutations and serves snapshots; it only stops
+	// spending compute.
+	StepBudget int
+
+	// Deadline stops stepping this long after New (0 = none). Like the
+	// step budget it marks the session Exhausted rather than closing it.
+	Deadline time.Duration
+
+	// StartPaused creates the session idle; call Resume to start stepping.
+	// The initial snapshot (epoch 1: the IA phase's local results) is
+	// published either way.
+	StartPaused bool
+}
+
+// Snapshot is an immutable view of the analysis at one step boundary.
+// All methods are safe for concurrent use by any number of goroutines.
+type Snapshot struct {
+	// Epoch counts publications, starting at 1 (the post-IA state).
+	Epoch int
+	// Step is the engine's RC step count when the snapshot was taken.
+	Step int
+	// Converged reports whether the analysis had reached its fixpoint.
+	Converged bool
+	// Exhausted reports whether the step budget or deadline had run out.
+	Exhausted bool
+	// NumVertices and NumEdges describe the graph at the snapshot step.
+	NumVertices int
+	NumEdges    int
+	// Stats are the cumulative cluster statistics at the snapshot step.
+	Stats cluster.Stats
+
+	dist  map[graph.ID][]int32
+	live  []graph.ID
+	width int
+
+	scoresOnce sync.Once
+	scores     centrality.Scores
+
+	// next is closed when the succeeding snapshot is published — the
+	// lock-free broadcast WaitFor blocks on.
+	next chan struct{}
+}
+
+// Vertices returns the live vertices at the snapshot step. The slice is
+// shared: callers must not modify it.
+func (sn *Snapshot) Vertices() []graph.ID { return sn.live }
+
+// Row returns v's distance row (indexed by target ID, dv.Inf = unknown), or
+// nil if v was dead. The slice is shared between all readers of this
+// snapshot: callers must not modify it.
+func (sn *Snapshot) Row(v graph.ID) []int32 { return sn.dist[v] }
+
+// Distance returns the snapshot's estimate of d(u,v), dv.Inf if unknown.
+func (sn *Snapshot) Distance(u, v graph.ID) int32 {
+	row := sn.dist[u]
+	if row == nil || int(v) >= len(row) || v < 0 {
+		return dv.Inf
+	}
+	return row[v]
+}
+
+// Scores computes closeness centrality from the snapshot's rows. The result
+// is computed once per snapshot (lazily, under sync.Once) and shared.
+func (sn *Snapshot) Scores() centrality.Scores {
+	sn.scoresOnce.Do(func() {
+		sn.scores = centrality.FromDistances(sn.dist, sn.live, sn.width)
+	})
+	return sn.scores
+}
+
+// command is one unit of serialized work for the orchestration goroutine.
+type command struct {
+	name     string
+	mutation bool
+	run      func() error
+	done     chan error
+}
+
+// Session owns an Engine on a dedicated orchestration goroutine.
+type Session struct {
+	eng    *core.Engine
+	opts   Options
+	tracer core.Tracer
+
+	cancel context.CancelFunc
+	cmds   chan *command
+	done   chan struct{}
+	cur    atomic.Pointer[Snapshot]
+
+	queries   atomic.Int64
+	closeOnce sync.Once
+	closeErr  error
+
+	// Loop-goroutine state: written only by the orchestration goroutine
+	// (command closures run on it too), never read from outside.
+	paused       bool
+	exhausted    bool
+	dirty        bool
+	sincePublish int
+	epoch        int
+	baseStep     int
+}
+
+// New builds a session over g — which the session takes ownership of — runs
+// the DD and IA phases, publishes the initial snapshot and starts the
+// orchestration goroutine. Cancelling ctx stops the session as Close does
+// (but Close must still be called to release engine resources).
+func New(ctx context.Context, g *graph.Graph, opts Options) (*Session, error) {
+	if opts.PublishEvery < 1 {
+		opts.PublishEvery = 1
+	}
+	eopts := opts.Engine
+	eopts.MaxSteps = 0
+	eng, err := core.New(g, eopts)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		eng:    eng,
+		opts:   opts,
+		tracer: eopts.Tracer,
+		cancel: cancel,
+		cmds:   make(chan *command),
+		done:   make(chan struct{}),
+		paused: opts.StartPaused,
+	}
+	s.baseStep = eng.StepCount()
+	s.publish() // epoch 1: the IA phase's local shortest paths
+	go s.loop(ctx)
+	return s, nil
+}
+
+// Close stops the orchestration goroutine and releases engine resources.
+// Idempotent; concurrent and repeated calls return the first result.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		<-s.done
+		s.closeErr = s.eng.Close()
+	})
+	return s.closeErr
+}
+
+// Snapshot returns the current epoch snapshot. Lock-free; never nil.
+func (s *Session) Snapshot() *Snapshot {
+	s.queries.Add(1)
+	return s.cur.Load()
+}
+
+// WaitFor blocks until the current snapshot satisfies pred and returns it.
+// It returns ctx.Err() on cancellation and ErrClosed if the session closes
+// while the (final) snapshot still fails pred.
+func (s *Session) WaitFor(ctx context.Context, pred func(*Snapshot) bool) (*Snapshot, error) {
+	for {
+		sn := s.Snapshot()
+		if pred(sn) {
+			return sn, nil
+		}
+		select {
+		case <-sn.next:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.done:
+			if sn = s.cur.Load(); pred(sn) {
+				return sn, nil
+			}
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Wait blocks until the analysis converges or exhausts its budget/deadline.
+func (s *Session) Wait(ctx context.Context) (*Snapshot, error) {
+	return s.WaitFor(ctx, func(sn *Snapshot) bool { return sn.Converged || sn.Exhausted })
+}
+
+// Pause stops stepping after the current step; mutations still apply.
+func (s *Session) Pause() error {
+	return s.do("pause", false, func() error { s.paused = true; return nil })
+}
+
+// Resume restarts stepping after Pause (or Options.StartPaused).
+func (s *Session) Resume() error {
+	return s.do("resume", false, func() error { s.paused = false; return nil })
+}
+
+// do enqueues a command and blocks until the orchestration goroutine ran it.
+func (s *Session) do(name string, mutation bool, run func() error) error {
+	cmd := &command{name: name, mutation: mutation, run: run, done: make(chan error, 1)}
+	select {
+	case s.cmds <- cmd:
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-cmd.done:
+		return err
+	case <-s.done:
+		// The loop may have run the command just before exiting.
+		select {
+		case err := <-cmd.done:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// ApplyEdgeAdditions enqueues an edge-addition batch; it is applied at the
+// next step boundary and visible in the current snapshot once this returns.
+// The input slice is copied at enqueue time and may be reused by the caller.
+func (s *Session) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
+	for _, ed := range edges {
+		if ed.U < 0 || ed.V < 0 || ed.U == ed.V || ed.W < 1 {
+			return fmt.Errorf("anytime: bad edge addition {%d,%d,%d}", ed.U, ed.V, ed.W)
+		}
+	}
+	batch := append([]graph.EdgeTriple(nil), edges...)
+	return s.do(fmt.Sprintf("edge-add x%d", len(batch)), true, func() error {
+		return s.eng.ApplyEdgeAdditions(batch)
+	})
+}
+
+// ApplyEdgeDeletions enqueues a barrier-mode edge-deletion batch. The engine
+// first converges the current analysis (those internal RC steps count toward
+// the step budget), then removes the edges and invalidates stale bounds.
+func (s *Session) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
+	batch := append([][2]graph.ID(nil), pairs...)
+	return s.do(fmt.Sprintf("edge-delete x%d (barrier)", len(batch)), true, func() error {
+		return s.eng.ApplyEdgeDeletions(batch)
+	})
+}
+
+// ApplyEdgeDeletionsEager enqueues a barrier-free edge-deletion batch.
+func (s *Session) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
+	batch := append([][2]graph.ID(nil), pairs...)
+	return s.do(fmt.Sprintf("edge-delete x%d (eager)", len(batch)), true, func() error {
+		return s.eng.ApplyEdgeDeletionsEager(batch)
+	})
+}
+
+// SetEdgeWeight enqueues an edge-weight change.
+func (s *Session) SetEdgeWeight(u, v graph.ID, w int32) error {
+	if w < 1 {
+		return fmt.Errorf("anytime: bad edge weight %d", w)
+	}
+	return s.do(fmt.Sprintf("set-weight %d-%d", u, v), true, func() error {
+		return s.eng.SetEdgeWeight(u, v, w)
+	})
+}
+
+// ApplyVertexAdditions enqueues a vertex batch placed by ps, returning the
+// IDs the engine assigned. The batch is copied at enqueue time.
+func (s *Session) ApplyVertexAdditions(batch *core.VertexBatch, ps core.ProcessorAssigner) ([]graph.ID, error) {
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	cp := cloneBatch(batch)
+	var ids []graph.ID
+	err := s.do(fmt.Sprintf("vertex-add x%d", cp.Count), true, func() error {
+		var err error
+		ids, err = s.eng.ApplyVertexAdditions(cp, ps)
+		return err
+	})
+	return ids, err
+}
+
+// RemoveVertices enqueues a vertex-removal batch.
+func (s *Session) RemoveVertices(vertices []graph.ID) error {
+	batch := append([]graph.ID(nil), vertices...)
+	return s.do(fmt.Sprintf("vertex-remove x%d", len(batch)), true, func() error {
+		return s.eng.RemoveVertices(batch)
+	})
+}
+
+// Repartition enqueues a Repartition-S pass: the batch (nil = pure
+// rebalancing) is added without incremental relaxation, the grown graph is
+// repartitioned and partial results migrate to their new owners.
+func (s *Session) Repartition(batch *core.VertexBatch) (*core.RepartitionResult, error) {
+	var cp *core.VertexBatch
+	n := 0
+	if batch != nil {
+		if err := batch.Validate(); err != nil {
+			return nil, err
+		}
+		cp = cloneBatch(batch)
+		n = cp.Count
+	}
+	var res *core.RepartitionResult
+	err := s.do(fmt.Sprintf("repartition x%d", n), true, func() error {
+		var err error
+		res, err = s.eng.Repartition(cp)
+		return err
+	})
+	return res, err
+}
+
+func cloneBatch(b *core.VertexBatch) *core.VertexBatch {
+	return &core.VertexBatch{
+		Count:    b.Count,
+		Internal: append([]core.BatchEdge(nil), b.Internal...),
+		External: append([]core.AttachEdge(nil), b.External...),
+	}
+}
+
+// loop is the orchestration goroutine: it alternates between draining the
+// command queue and advancing the engine, publishing snapshots on the
+// configured cadence and at every state transition.
+func (s *Session) loop(ctx context.Context) {
+	defer func() {
+		if s.dirty {
+			s.publish()
+		}
+		if s.tracer != nil {
+			s.tracer.Event(trace.KindQuery, fmt.Sprintf("%d snapshot queries served", s.queries.Load()))
+		}
+		close(s.done)
+	}()
+	var deadlineC <-chan time.Time
+	if s.opts.Deadline > 0 {
+		t := time.NewTimer(s.opts.Deadline)
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	for {
+		// Control traffic has priority over stepping.
+		select {
+		case <-ctx.Done():
+			return
+		case <-deadlineC:
+			deadlineC = nil
+			s.exhaust("deadline")
+			continue
+		case cmd := <-s.cmds:
+			s.exec(cmd)
+			continue
+		default:
+		}
+		if s.paused || s.exhausted || s.eng.Converged() {
+			select { // idle: block until something changes
+			case <-ctx.Done():
+				return
+			case <-deadlineC:
+				deadlineC = nil
+				s.exhaust("deadline")
+			case cmd := <-s.cmds:
+				s.exec(cmd)
+			}
+			continue
+		}
+		s.eng.Step()
+		s.dirty = true
+		s.sincePublish++
+		if s.eng.Converged() || s.sincePublish >= s.opts.PublishEvery {
+			s.publish()
+		}
+		s.checkBudget()
+	}
+}
+
+// exec runs one command on the orchestration goroutine. Mutations publish a
+// fresh snapshot before the caller's Apply* returns, so the effect is
+// immediately queryable.
+func (s *Session) exec(cmd *command) {
+	err := cmd.run()
+	if cmd.mutation {
+		if s.tracer != nil {
+			detail := cmd.name
+			if err != nil {
+				detail += " (failed: " + err.Error() + ")"
+			}
+			s.tracer.Event(trace.KindMutation, detail)
+		}
+		s.checkBudget()
+		s.publish()
+	}
+	cmd.done <- err
+}
+
+// checkBudget flips the session to Exhausted once the step budget is spent.
+func (s *Session) checkBudget() {
+	if !s.exhausted && s.opts.StepBudget > 0 && s.eng.StepCount()-s.baseStep >= s.opts.StepBudget {
+		s.exhaust("step budget")
+	}
+}
+
+// exhaust marks the session out of compute and publishes the transition.
+func (s *Session) exhaust(reason string) {
+	if s.exhausted {
+		return
+	}
+	s.exhausted = true
+	if s.tracer != nil {
+		s.tracer.Event(trace.KindEpoch, "exhausted: "+reason)
+	}
+	s.publish()
+}
+
+// publish snapshots the engine state into a fresh epoch. Every distance row
+// is deep-copied (Engine.Distances copies) so the snapshot stays valid when
+// the engine's dv.Store later recycles row arrays through its free list.
+func (s *Session) publish() {
+	s.epoch++
+	g := s.eng.Graph()
+	snap := &Snapshot{
+		Epoch:       s.epoch,
+		Step:        s.eng.StepCount(),
+		Converged:   s.eng.Converged(),
+		Exhausted:   s.exhausted,
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		Stats:       s.eng.Stats(),
+		dist:        s.eng.Distances(),
+		live:        append([]graph.ID(nil), g.Vertices()...),
+		width:       g.NumIDs(),
+		next:        make(chan struct{}),
+	}
+	old := s.cur.Swap(snap)
+	if old != nil {
+		close(old.next)
+	}
+	s.dirty = false
+	s.sincePublish = 0
+	if s.tracer != nil {
+		s.tracer.Event(trace.KindEpoch, fmt.Sprintf(
+			"epoch %d at step %d (converged=%t exhausted=%t, %d vertices, %d edges)",
+			snap.Epoch, snap.Step, snap.Converged, snap.Exhausted, snap.NumVertices, snap.NumEdges))
+	}
+}

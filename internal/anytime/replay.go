@@ -1,0 +1,40 @@
+package anytime
+
+import (
+	"context"
+
+	"aacc/internal/changelog"
+)
+
+// A Session is a changelog replay target: each batch's operations enter the
+// serialized mutation queue and apply at a step boundary.
+var _ changelog.Target = (*Session)(nil)
+
+// Replay feeds rp's batches into the session at (or as close as possible to)
+// their recorded RC steps: it waits for the session to reach each batch's
+// step, then applies the batch through the mutation queue. If the analysis
+// converges or exhausts its budget before a batch's step is reached, the
+// batch applies immediately — at a fixpoint, idling until the nominal step
+// would change nothing.
+//
+// Replay only blocks the calling goroutine; snapshot queries proceed
+// throughout. Cancelling ctx abandons the remaining batches.
+func (s *Session) Replay(ctx context.Context, rp *changelog.Replayer) error {
+	for !rp.Done() {
+		due := rp.NextStep()
+		sn, err := s.WaitFor(ctx, func(sn *Snapshot) bool {
+			return sn.Step >= due || sn.Converged || sn.Exhausted
+		})
+		if err != nil {
+			return err
+		}
+		at := sn.Step
+		if due > at {
+			at = due // converged/exhausted early: fire the batch now
+		}
+		if err := rp.ApplyDue(s, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}

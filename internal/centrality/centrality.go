@@ -67,7 +67,7 @@ func FromDistances(dist map[graph.ID][]int32, live []graph.ID, width int) Scores
 
 // Exact computes exact closeness on g with a parallel Dijkstra APSP —
 // the test and quality oracle (and the baseline-restart kernel's scoring).
-func Exact(g *graph.Graph, workers int) Scores {
+func Exact(g graph.View, workers int) Scores {
 	dist := sssp.APSP(g, workers)
 	return FromDistances(dist, g.Vertices(), g.NumIDs())
 }
@@ -80,7 +80,8 @@ func Exact(g *graph.Graph, workers int) Scores {
 // pivots the ranking of highly-central vertices is preserved with high
 // probability. Only the Classic field is estimated (harmonic extrapolates
 // the same way); Valid marks vertices that reached every pivot.
-func ApproxCloseness(g *graph.Graph, pivots []graph.ID, workers int) Scores {
+func ApproxCloseness(v graph.View, pivots []graph.ID, workers int) Scores {
+	g := graph.Materialize(v)
 	n := g.NumVertices()
 	s := Scores{
 		Classic:  make([]float64, g.NumIDs()),
@@ -143,7 +144,7 @@ func ApproxCloseness(g *graph.Graph, pivots []graph.ID, workers int) Scores {
 }
 
 // Degree computes degree centrality (degree / (n-1)) for the live vertices.
-func Degree(g *graph.Graph) []float64 {
+func Degree(g graph.View) []float64 {
 	out := make([]float64, g.NumIDs())
 	n := g.NumVertices()
 	if n <= 1 {

@@ -176,6 +176,21 @@ func parseEndpoint(tok string) (graph.ID, string) {
 	return -1, tok
 }
 
+// Target is the mutation surface a replayer drives. *core.Engine implements
+// it directly (mutations between steps); an anytime.Session implements it by
+// enqueueing each operation on its serialized mutation queue, so a log can be
+// replayed against a live concurrent analysis.
+type Target interface {
+	ApplyVertexAdditions(batch *core.VertexBatch, ps core.ProcessorAssigner) ([]graph.ID, error)
+	ApplyEdgeAdditions(edges []graph.EdgeTriple) error
+	SetEdgeWeight(u, v graph.ID, w int32) error
+	ApplyEdgeDeletions(edges [][2]graph.ID) error
+	ApplyEdgeDeletionsEager(edges [][2]graph.ID) error
+	RemoveVertices(vertices []graph.ID) error
+}
+
+var _ Target = (*core.Engine)(nil)
+
 // Replayer feeds a Log into an engine at the recorded steps.
 type Replayer struct {
 	log   *Log
@@ -198,6 +213,28 @@ func NewReplayer(log *Log, ps core.ProcessorAssigner) *Replayer {
 // Done reports whether every batch has been applied.
 func (r *Replayer) Done() bool { return r.next >= len(r.log.Batches) }
 
+// NextStep returns the step at which the next pending batch is due, or -1
+// when every batch has been applied.
+func (r *Replayer) NextStep() int {
+	if r.Done() {
+		return -1
+	}
+	return r.log.Batches[r.next].Step
+}
+
+// ApplyDue applies every pending batch due at or before step to t. Callers
+// that control stepping themselves (sessions, custom drivers) use this
+// instead of Step.
+func (r *Replayer) ApplyDue(t Target, step int) error {
+	for !r.Done() && r.log.Batches[r.next].Step <= step {
+		if err := r.apply(t, r.log.Batches[r.next]); err != nil {
+			return err
+		}
+		r.next++
+	}
+	return nil
+}
+
 // Resolve returns the engine ID assigned to a named new vertex.
 func (r *Replayer) Resolve(name string) (graph.ID, bool) {
 	id, ok := r.names[name]
@@ -209,13 +246,7 @@ func (r *Replayer) Resolve(name string) (graph.ID, bool) {
 // engine to convergence.
 func (r *Replayer) Step(e *core.Engine) error {
 	e.Step()
-	for !r.Done() && r.log.Batches[r.next].Step <= e.StepCount() {
-		if err := r.apply(e, r.log.Batches[r.next]); err != nil {
-			return err
-		}
-		r.next++
-	}
-	return nil
+	return r.ApplyDue(e, e.StepCount())
 }
 
 // ReplayAll drives the engine until every batch is applied and the analysis
@@ -230,10 +261,10 @@ func (r *Replayer) ReplayAll(e *core.Engine) error {
 	return err
 }
 
-// apply groups a batch's events into the engine's operation types: new
+// apply groups a batch's events into the target's operation types: new
 // vertices and their attachments become one VertexBatch; plain edge events
 // apply individually.
-func (r *Replayer) apply(e *core.Engine, b Batch) error {
+func (r *Replayer) apply(e Target, b Batch) error {
 	// Collect the batch's new vertices in declaration order.
 	var newNames []string
 	nameIdx := map[string]int{}

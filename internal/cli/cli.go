@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -14,8 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"aacc/internal/anytime"
 	"aacc/internal/centrality"
 	"aacc/internal/changelog"
+	"aacc/internal/cluster"
 	"aacc/internal/core"
 	"aacc/internal/experiments"
 	"aacc/internal/gen"
@@ -131,27 +134,32 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 // Analysis implements cmd/aacc.
-func Analysis(args []string, stdout io.Writer) error {
+func Analysis(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("aacc", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		n         = fs.Int("n", 2000, "vertices when generating a graph")
-		p         = fs.Int("p", 16, "simulated processors (1-64)")
-		seed      = fs.Int64("seed", 1, "random seed")
-		genName   = fs.String("gen", "ba", "generator: ba, er, ws, sbm, community, rmat")
-		graphPath = fs.String("graph", "", "load an edge-list graph instead of generating")
-		maxW      = fs.Int("maxw", 1, "maximum random edge weight")
-		top       = fs.Int("top", 10, "how many top-central vertices to print")
-		harmonic  = fs.Bool("harmonic", false, "rank by harmonic instead of classic closeness")
-		anytime   = fs.Bool("anytime", false, "print per-step anytime progress")
-		partName  = fs.String("partitioner", "multilevel", "DD partitioner: multilevel, bfsgrow, roundrobin, hash")
-		changes   = fs.String("changes", "", "replay a change log (see internal/changelog) during the analysis")
-		eagerDel  = fs.Bool("eager-deletions", false, "barrier-free (eager) deletion mode for the change log")
-		rtName    = fs.String("runtime", "sim", "execution runtime: sim (in-process) or tcp (boundary DVs over a real TCP loopback mesh)")
-		wire      = fs.Bool("wire", false, "deprecated alias for -runtime tcp")
-		traceCSV  = fs.String("trace", "", "write a CSV step/event trace to this file")
-		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf   = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
+		n          = fs.Int("n", 2000, "vertices when generating a graph")
+		p          = fs.Int("p", 16, "simulated processors (1-64)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		genName    = fs.String("gen", "ba", "generator: ba, er, ws, sbm, community, rmat")
+		graphPath  = fs.String("graph", "", "load an edge-list graph instead of generating")
+		maxW       = fs.Int("maxw", 1, "maximum random edge weight")
+		top        = fs.Int("top", 10, "how many top-central vertices to print")
+		harmonic   = fs.Bool("harmonic", false, "rank by harmonic instead of classic closeness")
+		anyFlag    = fs.Bool("anytime", false, "print per-step anytime progress")
+		partName   = fs.String("partitioner", "multilevel", "DD partitioner: multilevel, bfsgrow, roundrobin, hash")
+		changes    = fs.String("changes", "", "replay a change log (see internal/changelog) during the analysis")
+		eagerDel   = fs.Bool("eager-deletions", false, "barrier-free (eager) deletion mode for the change log")
+		rtName     = fs.String("runtime", "sim", "execution runtime: sim (in-process) or tcp (boundary DVs over a real TCP loopback mesh)")
+		wire       = fs.Bool("wire", false, "deprecated alias for -runtime tcp")
+		traceCSV   = fs.String("trace", "", "write a CSV step/event trace to this file")
+		traceJSONL = fs.String("trace-jsonl", "", "write a JSONL step/event trace to this file")
+		serve      = fs.Bool("serve", false, "run as an anytime session: the change log replays through the mutation queue while epoch snapshots are sampled concurrently")
+		pubEvery   = fs.Int("publish-every", 1, "serve mode: publish a snapshot every k rc steps")
+		stepBudget = fs.Int("step-budget", 0, "serve mode: stop stepping after this many rc steps (0 = unlimited)")
+		deadline   = fs.Duration("deadline", 0, "serve mode: wall-clock stepping deadline (0 = none)")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,8 +169,8 @@ func Analysis(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintf(stdout, "profile error: %v\n", err)
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(stdout, "profile error: %v\n", perr)
 		}
 	}()
 
@@ -184,27 +192,58 @@ func Analysis(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; %d simulated processors\n",
 		g.NumVertices(), g.NumEdges(), *p)
 
-	var tracer core.Tracer
+	// A trace that silently lost rows is worse than no trace: sink write
+	// errors surface as the command's error once the run itself succeeded.
+	var sinks trace.Multi
+	var sinkErr []func() error
+	openSink := func(path string, build func(io.Writer) core.Tracer, errf func(core.Tracer) error) error {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		t := build(f)
+		sinks = append(sinks, t)
+		sinkErr = append(sinkErr, func() error {
+			werr := errf(t)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("trace %s: %w", path, werr)
+			}
+			return nil
+		})
+		return nil
+	}
+	defer func() {
+		for _, check := range sinkErr {
+			if terr := check(); terr != nil && err == nil {
+				err = terr
+			}
+		}
+	}()
 	if *traceCSV != "" {
-		f, err := os.Create(*traceCSV)
-		if err != nil {
+		if err := openSink(*traceCSV,
+			func(w io.Writer) core.Tracer { return trace.NewCSV(w) },
+			func(t core.Tracer) error { return t.(*trace.CSV).Err() }); err != nil {
 			return err
 		}
-		defer f.Close()
-		csv := trace.NewCSV(f)
-		defer func() {
-			if err := csv.Err(); err != nil {
-				fmt.Fprintf(stdout, "trace error: %v\n", err)
-			}
-		}()
-		tracer = csv
 	}
-	wall := time.Now()
-	e, err := core.New(g, core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer})
-	if err != nil {
-		return err
+	if *traceJSONL != "" {
+		if err := openSink(*traceJSONL,
+			func(w io.Writer) core.Tracer { return trace.NewJSONL(w) },
+			func(t core.Tracer) error { return t.(*trace.JSONL).Err() }); err != nil {
+			return err
+		}
 	}
-	defer e.Close()
+	var tracer core.Tracer
+	switch len(sinks) {
+	case 0:
+	case 1:
+		tracer = sinks[0]
+	default:
+		tracer = sinks
+	}
 
 	var replayer *changelog.Replayer
 	if *changes != "" {
@@ -221,32 +260,63 @@ func Analysis(args []string, stdout io.Writer) error {
 		replayer.Eager = *eagerDel
 		fmt.Fprintf(stdout, "replaying %d change batches from %s\n", len(cl.Batches), *changes)
 	}
-	switch {
-	case replayer != nil && *anytime:
-		for !replayer.Done() || !e.Converged() {
-			if err := replayer.Step(e); err != nil {
+
+	eopts := core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer}
+	wall := time.Now()
+	var scores centrality.Scores
+	var sessionStats sessionSummary
+	if *serve {
+		sopts := anytime.Options{
+			Engine:       eopts,
+			PublishEvery: *pubEvery,
+			StepBudget:   *stepBudget,
+			Deadline:     *deadline,
+		}
+		scores, sessionStats, err = serveAnalysis(stdout, g, sopts, replayer)
+		if err != nil {
+			return err
+		}
+	} else {
+		e, err := core.New(g, eopts)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		switch {
+		case replayer != nil && *anyFlag:
+			for !replayer.Done() || !e.Converged() {
+				if err := replayer.Step(e); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "rc step %2d: n=%d m=%d\n",
+					e.StepCount(), e.Graph().NumVertices(), e.Graph().NumEdges())
+			}
+		case replayer != nil:
+			if err := replayer.ReplayAll(e); err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "rc step %2d: n=%d m=%d\n",
-				e.StepCount(), e.Graph().NumVertices(), e.Graph().NumEdges())
+		case *anyFlag:
+			for !e.Converged() {
+				rep := e.Step()
+				fmt.Fprintf(stdout, "rc step %2d: %4d rows sent, %4d rows changed\n",
+					rep.Step, rep.RowsSent, rep.RowsChanged)
+			}
+		default:
+			if _, err := e.Run(); err != nil {
+				return err
+			}
 		}
-	case replayer != nil:
-		if err := replayer.ReplayAll(e); err != nil {
-			return err
-		}
-	case *anytime:
-		for !e.Converged() {
-			rep := e.Step()
-			fmt.Fprintf(stdout, "rc step %2d: %4d rows sent, %4d rows changed\n",
-				rep.Step, rep.RowsSent, rep.RowsChanged)
-		}
-	default:
-		if _, err := e.Run(); err != nil {
-			return err
+		scores = e.Scores()
+		load := metrics.Measure(e.Graph(), *p, func(v graph.ID) int { return e.Owner(v) })
+		sessionStats = sessionSummary{
+			steps:    e.StepCount(),
+			stats:    e.Stats(),
+			cut:      load.TotalCut,
+			imbal:    load.VertexImbalance,
+			haveLoad: true,
 		}
 	}
 
-	scores := e.Scores()
 	values := scores.Classic
 	kind := "closeness"
 	if *harmonic {
@@ -258,14 +328,88 @@ func Analysis(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%3d. vertex %-8d %.6g\n", i+1, v, values[v])
 	}
 
-	st := e.Stats()
-	load := metrics.Measure(e.Graph(), *p, func(v graph.ID) int { return e.Owner(v) })
-	fmt.Fprintf(stdout, "\nrc steps: %d   wall: %v\n", e.StepCount(), time.Since(wall).Round(time.Millisecond))
+	st := sessionStats.stats
+	fmt.Fprintf(stdout, "\nrc steps: %d   wall: %v\n", sessionStats.steps, time.Since(wall).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "simulated parallel time: %v (compute %v + comm %v)\n",
 		st.SimTotal().Round(time.Microsecond), st.SimCompute.Round(time.Microsecond), st.SimComm.Round(time.Microsecond))
-	fmt.Fprintf(stdout, "traffic: %d messages, %.2f MB; cut edges: %d; vertex imbalance: %.3f\n",
-		st.MessagesSent, float64(st.BytesSent)/(1<<20), load.TotalCut, load.VertexImbalance)
+	if sessionStats.haveLoad {
+		fmt.Fprintf(stdout, "traffic: %d messages, %.2f MB; cut edges: %d; vertex imbalance: %.3f\n",
+			st.MessagesSent, float64(st.BytesSent)/(1<<20), sessionStats.cut, sessionStats.imbal)
+	} else {
+		fmt.Fprintf(stdout, "traffic: %d messages, %.2f MB\n",
+			st.MessagesSent, float64(st.BytesSent)/(1<<20))
+	}
 	return nil
+}
+
+// sessionSummary carries the end-of-run statistics both analysis modes
+// produce for the shared report footer.
+type sessionSummary struct {
+	steps    int
+	stats    cluster.Stats
+	cut      int
+	imbal    float64
+	haveLoad bool
+}
+
+// serveAnalysis runs the analysis as an anytime session: the change log (if
+// any) replays through the serialized mutation queue on one goroutine while
+// this goroutine samples and prints each published epoch — the session's
+// concurrent readers and writers exercised end to end from the CLI.
+func serveAnalysis(stdout io.Writer, g *graph.Graph, opts anytime.Options, replayer *changelog.Replayer) (centrality.Scores, sessionSummary, error) {
+	ctx := context.Background()
+	s, err := anytime.New(ctx, g, opts)
+	if err != nil {
+		return centrality.Scores{}, sessionSummary{}, err
+	}
+	defer s.Close()
+
+	replayErr := make(chan error, 1)
+	go func() {
+		if replayer == nil {
+			replayErr <- nil
+			return
+		}
+		replayErr <- s.Replay(ctx, replayer)
+	}()
+
+	last := 0
+	sample := func(sn *anytime.Snapshot) {
+		if sn.Epoch <= last {
+			return
+		}
+		last = sn.Epoch
+		state := "running"
+		switch {
+		case sn.Converged:
+			state = "converged"
+		case sn.Exhausted:
+			state = "exhausted"
+		}
+		fmt.Fprintf(stdout, "epoch %3d: step %3d, n=%d m=%d (%s)\n",
+			sn.Epoch, sn.Step, sn.NumVertices, sn.NumEdges, state)
+	}
+	for {
+		sn, err := s.WaitFor(ctx, func(sn *anytime.Snapshot) bool { return sn.Epoch > last })
+		if err != nil {
+			return centrality.Scores{}, sessionSummary{}, err
+		}
+		sample(sn)
+		if sn.Converged || sn.Exhausted {
+			break
+		}
+	}
+	// The analysis settled; any batches still pending fire immediately now,
+	// then the session settles again on the final graph.
+	if err := <-replayErr; err != nil {
+		return centrality.Scores{}, sessionSummary{}, err
+	}
+	final, err := s.Wait(ctx)
+	if err != nil {
+		return centrality.Scores{}, sessionSummary{}, err
+	}
+	sample(final)
+	return final.Scores(), sessionSummary{steps: final.Step, stats: final.Stats}, nil
 }
 
 // Bench implements cmd/aacc-bench.

@@ -67,6 +67,67 @@ func TestAnalysisTraceFile(t *testing.T) {
 	}
 }
 
+func TestAnalysisServe(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "changes.log")
+	content := "@1\naddedge 0 40 2\n@2\naddvertex newbie\nattach newbie 3 1\n@4\ndeledge 0 40\n"
+	if err := os.WriteFile(logPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonlPath := filepath.Join(dir, "trace.jsonl")
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "80", "-p", "4", "-serve", "-changes", logPath,
+		"-publish-every", "1", "-trace-jsonl", jsonlPath, "-top", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"replaying 3 change batches", "epoch", "(converged)", "top 3 by closeness", "rc steps:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("serve output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"step"`, `"kind":"epoch"`, `"kind":"mutation"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("jsonl trace missing %q: %.200s", want, data)
+		}
+	}
+}
+
+func TestAnalysisServeStepBudget(t *testing.T) {
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "150", "-p", "4", "-serve", "-step-budget", "1", "-top", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(exhausted)") {
+		t.Fatalf("budget-limited serve run did not report exhaustion:\n%s", out.String())
+	}
+}
+
+// TestAnalysisTraceWriteError: a trace sink that cannot be written must fail
+// the command, not be silently swallowed (the run's other output is fine, so
+// the error surfaces in the exit path).
+func TestAnalysisTraceWriteError(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "60", "-p", "4", "-trace", "/dev/full"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("trace write failure not propagated: %v", err)
+	}
+	out.Reset()
+	err = Analysis([]string{"-n", "60", "-p", "4", "-trace-jsonl", "/dev/full"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("jsonl trace write failure not propagated: %v", err)
+	}
+}
+
 func TestAnalysisErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := Analysis([]string{"-gen", "nope"}, &out); err == nil {

@@ -603,10 +603,12 @@ func (e *Engine) Converged() bool { return e.conv }
 // StepCount returns the number of RC steps performed so far.
 func (e *Engine) StepCount() int { return e.step }
 
-// Graph returns the engine's graph. Mutating it directly desynchronises the
-// distance state; use the Apply* methods, or mutate and call Reinitialize
-// (the baseline-restart method).
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns a read-only view of the engine's live graph. The view always
+// reflects the current graph (it is not a copy), but exposes no mutating
+// methods: dynamic changes go through the Apply* methods (or an
+// anytime.Session's mutation queue), and the baseline-restart protocol
+// mutates a Clone of the view and hands it to ReinitializeFrom.
+func (e *Engine) Graph() graph.View { return e.g }
 
 // Owner returns the processor owning v, or -1.
 func (e *Engine) Owner(v graph.ID) int {
@@ -639,6 +641,17 @@ func (e *Engine) P() int { return e.opts.P }
 // graph. Cumulative cluster statistics are preserved so restart cost
 // accrues into the same totals.
 func (e *Engine) Reinitialize() {
+	e.initialize()
+}
+
+// ReinitializeFrom replaces the engine's graph with g — which the engine
+// takes ownership of — and restarts the analysis on it: the baseline-restart
+// protocol for mutated graphs. Callers obtain g by cloning Graph() and
+// applying their raw edits to the copy; the engine's live graph is never
+// mutated directly. Cumulative cluster statistics are preserved, as with
+// Reinitialize.
+func (e *Engine) ReinitializeFrom(g *graph.Graph) {
+	e.g = g
 	e.initialize()
 }
 

@@ -152,7 +152,7 @@ func dynamicEqualsStatic(t *testing.T, seed int64) bool {
 	return true
 }
 
-func randomBatch(rng *rand.Rand, g *graph.Graph) *VertexBatch {
+func randomBatch(rng *rand.Rand, g graph.View) *VertexBatch {
 	count := 1 + rng.Intn(5)
 	b := &VertexBatch{Count: count}
 	for k := 0; k < rng.Intn(2*count); k++ {

@@ -45,10 +45,11 @@ func EA1(cfg Config) (*Result, error) {
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
+		g2 := r.Graph().Clone()
 		for _, ed := range adds {
-			r.Graph().AddEdge(ed.U, ed.V, ed.W)
+			g2.AddEdge(ed.U, ed.V, ed.W)
 		}
-		r.Reinitialize()
+		r.ReinitializeFrom(g2)
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
@@ -103,10 +104,11 @@ func ED1(cfg Config) (*Result, error) {
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
+		g2 := r.Graph().Clone()
 		for _, d := range dels {
-			r.Graph().RemoveEdge(d[0], d[1])
+			g2.RemoveEdge(d[0], d[1])
 		}
-		r.Reinitialize()
+		r.ReinitializeFrom(g2)
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
@@ -165,10 +167,11 @@ func ED2(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		beforeR := r.Stats().SimTotal()
+		g2 := r.Graph().Clone()
 		for _, d := range dels {
-			r.Graph().RemoveEdge(d[0], d[1])
+			g2.RemoveEdge(d[0], d[1])
 		}
-		r.Reinitialize()
+		r.ReinitializeFrom(g2)
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}

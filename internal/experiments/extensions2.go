@@ -136,8 +136,9 @@ func Ext5(cfg Config) (*Result, error) {
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
-		applyBatchRaw(r.Graph(), batch)
-		r.Reinitialize()
+		g2 := r.Graph().Clone()
+		applyBatchRaw(g2, batch)
+		r.ReinitializeFrom(g2)
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}

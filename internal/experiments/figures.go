@@ -66,8 +66,9 @@ func Fig4(cfg Config) (*Result, error) {
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
-		applyBatchRaw(r.Graph(), add.Batch)
-		r.Reinitialize()
+		g2 := r.Graph().Clone()
+		applyBatchRaw(g2, add.Batch)
+		r.ReinitializeFrom(g2)
 		if _, err := r.Run(); err != nil {
 			return nil, err
 		}
@@ -236,9 +237,10 @@ func incrementalRun(cfg Config, add *workload.Addition, method string, steps int
 		chunk := inc.Next()
 		switch method {
 		case "Baseline-Restart":
-			ids := applyBatchRaw(e.Graph(), chunk)
+			g2 := e.Graph().Clone()
+			ids := applyBatchRaw(g2, chunk)
 			inc.NoteIDs(ids)
-			e.Reinitialize()
+			e.ReinitializeFrom(g2)
 			if _, err := e.Run(); err != nil {
 				return 0, err
 			}

@@ -1,0 +1,63 @@
+package graph
+
+// View is the read-only face of a Graph. Everything that inspects a graph —
+// metrics, oracles, experiments, report formatting — should accept a View,
+// so that holding one (e.g. from core.Engine.Graph()) cannot desynchronise a
+// running analysis: the mutating methods (AddEdge, RemoveVertex, ...) are
+// simply not reachable through this type. Code that needs a mutable graph
+// derived from a View calls Clone and owns the copy.
+//
+// *Graph implements View; the compile-time check below pins the contract.
+type View interface {
+	// NumIDs returns the size of the identifier space, including
+	// tombstoned vertices. Valid identifiers are 0..NumIDs()-1.
+	NumIDs() int
+	// NumVertices returns the number of live (non-removed) vertices.
+	NumVertices() int
+	// NumEdges returns the number of live undirected edges.
+	NumEdges() int
+	// Has reports whether v is a live vertex.
+	Has(v ID) bool
+	// HasEdge reports whether the undirected edge {u,v} is present.
+	HasEdge(u, v ID) bool
+	// Weight returns the weight of edge {u,v} and whether it exists.
+	Weight(u, v ID) (int32, bool)
+	// Degree returns the number of live edges incident to v.
+	Degree(v ID) int
+	// Neighbors returns the adjacency list of v. The returned slice is
+	// owned by the graph and must not be modified or retained across
+	// mutations.
+	Neighbors(v ID) []Edge
+	// Vertices returns the identifiers of all live vertices in ascending
+	// order.
+	Vertices() []ID
+	// Edges returns every live undirected edge exactly once (U < V).
+	Edges() []EdgeTriple
+	// TotalWeight returns the sum of all live edge weights.
+	TotalWeight() int64
+	// ConnectedComponents groups live vertices into components, largest
+	// first.
+	ConnectedComponents() [][]ID
+	// IsConnected reports whether all live vertices are in one component.
+	IsConnected() bool
+	// InducedSubgraph returns a new graph induced by keep plus the
+	// local-to-original ID mapping. The result is caller-owned.
+	InducedSubgraph(keep []ID) (*Graph, []ID)
+	// Clone returns a deep, caller-owned mutable copy.
+	Clone() *Graph
+	// Validate checks internal invariants (tests; O(V+E·deg)).
+	Validate() error
+}
+
+var _ View = (*Graph)(nil)
+
+// Materialize returns the concrete *Graph behind v when v is one (the common
+// case — no copy, read-only use only), or a deep copy otherwise. Read-only
+// kernels that need concrete adjacency traversal speed (sssp, centrality)
+// use it to accept Views without paying interface dispatch per edge.
+func Materialize(v View) *Graph {
+	if g, ok := v.(*Graph); ok {
+		return g
+	}
+	return v.Clone()
+}

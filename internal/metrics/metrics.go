@@ -25,8 +25,9 @@ type Load struct {
 }
 
 // Measure computes Load for a graph and an ownership function (owner(v) < 0
-// for dead vertices).
-func Measure(g *graph.Graph, p int, owner func(graph.ID) int) Load {
+// for dead vertices). Any read-only view works, including a live engine's
+// Graph() between steps.
+func Measure(g graph.View, p int, owner func(graph.ID) int) Load {
 	l := Load{Vertices: make([]int, p), CutEdges: make([]int, p)}
 	live := 0
 	for _, v := range g.Vertices() {

@@ -51,7 +51,7 @@ func (a Assignment) Sizes() []int {
 }
 
 // CutEdges counts edges of g whose endpoints are in different parts.
-func (a Assignment) CutEdges(g *graph.Graph) int {
+func (a Assignment) CutEdges(g graph.View) int {
 	cut := 0
 	for _, v := range g.Vertices() {
 		pv := a.Of(v)
@@ -82,7 +82,7 @@ func (a Assignment) Imbalance() float64 {
 }
 
 // Validate checks that every live vertex of g has a part in [0,K).
-func (a Assignment) Validate(g *graph.Graph) error {
+func (a Assignment) Validate(g graph.View) error {
 	for _, v := range g.Vertices() {
 		p := a.Of(v)
 		if p < 0 || p >= a.K {

@@ -132,7 +132,10 @@ func BellmanFord(g *graph.Graph, src graph.ID) []int32 {
 // fanned out over workers goroutines (<=0 means GOMAXPROCS). The result maps
 // global vertex ID to its distance row; only live vertices get rows.
 // This is both the engine's baseline-restart kernel and the test oracle.
-func APSP(g *graph.Graph, workers int) map[graph.ID][]int32 {
+// It accepts any read-only view (e.g. core.Engine.Graph()); the per-edge
+// inner loops run on the concrete graph behind it.
+func APSP(v graph.View, workers int) map[graph.ID][]int32 {
+	g := graph.Materialize(v)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

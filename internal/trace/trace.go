@@ -16,6 +16,20 @@ import (
 	"aacc/internal/core"
 )
 
+// Event kinds emitted by the anytime session layer, alongside the engine's
+// own kinds ("edge-add", "edge-delete", "vertex-add", "repartition",
+// "failure"). Tracer implementations can switch on these to separate the
+// session timeline from engine internals.
+const (
+	// KindEpoch marks the publication of a new immutable snapshot.
+	KindEpoch = "epoch"
+	// KindMutation marks a mutation dequeued from the session's serialized
+	// queue and applied at a step boundary.
+	KindMutation = "mutation"
+	// KindQuery reports cumulative snapshot-query counts at session close.
+	KindQuery = "query"
+)
+
 // CSV writes one row per RC step:
 //
 //	step,messages,rows_sent,rows_changed,converged,sim_compute_ms,sim_comm_ms,bytes

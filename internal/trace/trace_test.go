@@ -146,3 +146,38 @@ func TestTracerSeesAllDynamicKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionKindsRender: the session-layer event kinds flow through each
+// sink with their expected shapes (CSV comment line, JSONL event object).
+func TestSessionKindsRender(t *testing.T) {
+	var csvBuf, jsonlBuf bytes.Buffer
+	m := Multi{NewCSV(&csvBuf), NewJSONL(&jsonlBuf)}
+	for _, kind := range []string{KindEpoch, KindMutation, KindQuery} {
+		m.Event(kind, "details for "+kind)
+	}
+	for _, kind := range []string{"epoch", "mutation", "query"} {
+		if !strings.Contains(csvBuf.String(), "# "+kind+": details for "+kind) {
+			t.Fatalf("CSV missing %q event:\n%s", kind, csvBuf.String())
+		}
+	}
+	dec := json.NewDecoder(&jsonlBuf)
+	seen := map[string]bool{}
+	for dec.More() {
+		var ev struct {
+			Type string `json:"type"`
+			Kind string `json:"kind"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != "event" {
+			t.Fatalf("unexpected type %q", ev.Type)
+		}
+		seen[ev.Kind] = true
+	}
+	for _, kind := range []string{KindEpoch, KindMutation, KindQuery} {
+		if !seen[kind] {
+			t.Fatalf("JSONL missing %q event", kind)
+		}
+	}
+}

@@ -181,9 +181,45 @@ func (inc *Incremental) NoteIDs(ids []graph.ID) {
 	inc.next += len(ids)
 }
 
+// Target is the vertex-addition surface an incremental schedule drives.
+// Both *core.Engine (direct application between steps) and an
+// anytime.Session (application through the serialized mutation queue at the
+// next step boundary) implement it.
+type Target interface {
+	ApplyVertexAdditions(batch *core.VertexBatch, ps core.ProcessorAssigner) ([]graph.ID, error)
+}
+
+// Inject applies the next chunk to t and records the assigned IDs, returning
+// how many vertices were injected (0 when the schedule is exhausted).
+func (inc *Incremental) Inject(t Target, ps core.ProcessorAssigner) (int, error) {
+	chunk := inc.Next()
+	if chunk == nil {
+		return 0, nil
+	}
+	ids, err := t.ApplyVertexAdditions(chunk, ps)
+	if err != nil {
+		return 0, err
+	}
+	inc.NoteIDs(ids)
+	return len(ids), nil
+}
+
+// InjectAll drains the schedule into t, one chunk per call. With a session
+// target each chunk is enqueued and applied at a step boundary, so the
+// injections land on consecutive recombination steps.
+func (inc *Incremental) InjectAll(t Target, ps core.ProcessorAssigner) error {
+	for inc.Remaining() > 0 {
+		if _, err := inc.Inject(t, ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RandomEdgeAdditions returns count new (non-existing) edges over the live
-// vertices of g, weights in [1, maxW].
-func RandomEdgeAdditions(g *graph.Graph, count int, maxW int32, seed int64) []graph.EdgeTriple {
+// vertices of g, weights in [1, maxW]. Any read-only view works, including a
+// live engine's Graph() between steps.
+func RandomEdgeAdditions(g graph.View, count int, maxW int32, seed int64) []graph.EdgeTriple {
 	rng := rand.New(rand.NewSource(seed))
 	live := g.Vertices()
 	if maxW < 1 {
@@ -212,7 +248,7 @@ func RandomEdgeAdditions(g *graph.Graph, count int, maxW int32, seed int64) []gr
 // RandomEdgeDeletions returns up to count existing edges whose joint removal
 // keeps g connected (the paper's closeness experiments need finite sums).
 // g itself is not modified.
-func RandomEdgeDeletions(g *graph.Graph, count int, seed int64) [][2]graph.ID {
+func RandomEdgeDeletions(g graph.View, count int, seed int64) [][2]graph.ID {
 	rng := rand.New(rand.NewSource(seed))
 	work := g.Clone()
 	var out [][2]graph.ID
