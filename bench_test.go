@@ -22,6 +22,7 @@ import (
 	"aacc/internal/graph"
 	"aacc/internal/kcore"
 	"aacc/internal/logp"
+	"aacc/internal/obs"
 	"aacc/internal/partition"
 	"aacc/internal/runtime"
 	"aacc/internal/sssp"
@@ -487,6 +488,31 @@ func BenchmarkAblationPartitioners(b *testing.B) {
 			_ = (partition.RoundRobin{}).Partition(g, benchP)
 		}
 	})
+}
+
+// BenchmarkStepObsOverhead pins the cost of the live-metrics layer around
+// the step loop: RegistryOff is the production default (nil registry — the
+// hot path takes one branch and no clock reads), RegistryOn runs the same
+// analysis fully instrumented. scripts/bench_compare.sh diffs the pair; the
+// budget is <=5% overhead with the registry on.
+func BenchmarkStepObsOverhead(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	run := func(b *testing.B, reg *obs.Registry) {
+		for i := 0; i < b.N; i++ {
+			e, err := core.New(g.Clone(), core.Options{
+				P: benchP, Seed: benchSeed,
+				Partitioner: partition.Multilevel{Seed: benchSeed},
+				Obs:         reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustRun(b, e)
+			e.Close()
+		}
+	}
+	b.Run("RegistryOff", func(b *testing.B) { run(b, nil) })
+	b.Run("RegistryOn", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }
 
 // BenchmarkSnapshotQuery measures the anytime session's lock-free read path:

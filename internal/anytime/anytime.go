@@ -92,6 +92,7 @@ type Snapshot struct {
 	dist  map[graph.ID][]int32
 	live  []graph.ID
 	width int
+	taken time.Time
 
 	scoresOnce sync.Once
 	scores     centrality.Scores
@@ -104,6 +105,11 @@ type Snapshot struct {
 // Vertices returns the live vertices at the snapshot step. The slice is
 // shared: callers must not modify it.
 func (sn *Snapshot) Vertices() []graph.ID { return sn.live }
+
+// Age returns the time elapsed since this snapshot was published — how
+// stale a read is right now. On a converged or exhausted session the
+// current snapshot's age grows without bound by design.
+func (sn *Snapshot) Age() time.Duration { return time.Since(sn.taken) }
 
 // Row returns v's distance row (indexed by target ID, dv.Inf = unknown), or
 // nil if v was dead. The slice is shared between all readers of this
@@ -138,9 +144,11 @@ type command struct {
 
 // Session owns an Engine on a dedicated orchestration goroutine.
 type Session struct {
-	eng    *core.Engine
-	opts   Options
-	tracer core.Tracer
+	eng     *core.Engine
+	opts    Options
+	tracer  core.Tracer
+	om      *sessionObs // live metrics, nil unless Options.Engine.Obs was set
+	started time.Time   // deadline gauge reference point
 
 	cancel context.CancelFunc
 	cmds   chan *command
@@ -177,13 +185,17 @@ func New(ctx context.Context, g *graph.Graph, opts Options) (*Session, error) {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	s := &Session{
-		eng:    eng,
-		opts:   opts,
-		tracer: eopts.Tracer,
-		cancel: cancel,
-		cmds:   make(chan *command),
-		done:   make(chan struct{}),
-		paused: opts.StartPaused,
+		eng:     eng,
+		opts:    opts,
+		tracer:  eopts.Tracer,
+		cancel:  cancel,
+		cmds:    make(chan *command),
+		done:    make(chan struct{}),
+		paused:  opts.StartPaused,
+		started: time.Now(),
+	}
+	if eopts.Obs != nil {
+		s.om = newSessionObs(eopts.Obs, opts)
 	}
 	s.baseStep = eng.StepCount()
 	s.publish() // epoch 1: the IA phase's local shortest paths
@@ -205,8 +217,18 @@ func (s *Session) Close() error {
 // Snapshot returns the current epoch snapshot. Lock-free; never nil.
 func (s *Session) Snapshot() *Snapshot {
 	s.queries.Add(1)
-	return s.cur.Load()
+	sn := s.cur.Load()
+	if s.om != nil {
+		s.om.queries.Inc()
+		s.om.snapshotAge.ObserveDuration(time.Since(sn.taken))
+	}
+	return sn
 }
+
+// Done returns a channel closed once the orchestration goroutine has
+// stopped (after Close or context cancellation) — the liveness signal the
+// observability endpoint's /healthz reports.
+func (s *Session) Done() <-chan struct{} { return s.done }
 
 // WaitFor blocks until the current snapshot satisfies pred and returns it.
 // It returns ctx.Err() on cancellation and ErrClosed if the session closes
@@ -247,6 +269,10 @@ func (s *Session) Resume() error {
 
 // do enqueues a command and blocks until the orchestration goroutine ran it.
 func (s *Session) do(name string, mutation bool, run func() error) error {
+	if s.om != nil {
+		s.om.queueDepth.Add(1)
+		defer s.om.queueDepth.Add(-1)
+	}
 	cmd := &command{name: name, mutation: mutation, run: run, done: make(chan error, 1)}
 	select {
 	case s.cmds <- cmd:
@@ -423,8 +449,16 @@ func (s *Session) loop(ctx context.Context) {
 // fresh snapshot before the caller's Apply* returns, so the effect is
 // immediately queryable.
 func (s *Session) exec(cmd *command) {
+	var start time.Time
+	if s.om != nil && cmd.mutation {
+		start = time.Now()
+	}
 	err := cmd.run()
 	if cmd.mutation {
+		if s.om != nil {
+			s.om.mutations.Inc()
+			s.om.applyLat.ObserveDuration(time.Since(start))
+		}
 		if s.tracer != nil {
 			detail := cmd.name
 			if err != nil {
@@ -440,6 +474,10 @@ func (s *Session) exec(cmd *command) {
 
 // checkBudget flips the session to Exhausted once the step budget is spent.
 func (s *Session) checkBudget() {
+	if s.om != nil {
+		s.om.limits(s.opts.StepBudget-(s.eng.StepCount()-s.baseStep),
+			s.opts.Deadline-time.Since(s.started))
+	}
 	if !s.exhausted && s.opts.StepBudget > 0 && s.eng.StepCount()-s.baseStep >= s.opts.StepBudget {
 		s.exhaust("step budget")
 	}
@@ -461,6 +499,7 @@ func (s *Session) exhaust(reason string) {
 // is deep-copied (Engine.Distances copies) so the snapshot stays valid when
 // the engine's dv.Store later recycles row arrays through its free list.
 func (s *Session) publish() {
+	start := time.Now()
 	s.epoch++
 	g := s.eng.Graph()
 	snap := &Snapshot{
@@ -474,6 +513,7 @@ func (s *Session) publish() {
 		dist:        s.eng.Distances(),
 		live:        append([]graph.ID(nil), g.Vertices()...),
 		width:       g.NumIDs(),
+		taken:       start,
 		next:        make(chan struct{}),
 	}
 	old := s.cur.Swap(snap)
@@ -482,6 +522,11 @@ func (s *Session) publish() {
 	}
 	s.dirty = false
 	s.sincePublish = 0
+	if s.om != nil {
+		s.om.published(snap, time.Since(start))
+		s.om.limits(s.opts.StepBudget-(s.eng.StepCount()-s.baseStep),
+			s.opts.Deadline-time.Since(s.started))
+	}
 	if s.tracer != nil {
 		s.tracer.Event(trace.KindEpoch, fmt.Sprintf(
 			"epoch %d at step %d (converged=%t exhausted=%t, %d vertices, %d edges)",

@@ -1,0 +1,90 @@
+package anytime
+
+import (
+	"time"
+
+	"aacc/internal/obs"
+)
+
+// sessionObs is the session's live-metrics instrument set, built when
+// Options.Engine.Obs is set (the session and its engine share one
+// registry). Queries are the only concurrent writers — their instruments
+// are atomics; everything else is written from the orchestration goroutine.
+type sessionObs struct {
+	epoch     *obs.Gauge
+	epochs    *obs.Counter
+	publish   *obs.Histogram
+	converged *obs.Gauge
+	exhausted *obs.Gauge
+
+	queries     *obs.Counter
+	snapshotAge *obs.Histogram
+
+	mutations  *obs.Counter
+	applyLat   *obs.Histogram
+	queueDepth *obs.Gauge
+
+	// budgetLeft / deadlineLeft stay nil unless the corresponding limit is
+	// configured, so an unlimited session exposes no misleading zero.
+	budgetLeft   *obs.Gauge
+	deadlineLeft *obs.Gauge
+}
+
+// SnapshotAgeBuckets spans the expected age-at-read range: a busy session
+// republishes every few milliseconds, an idle converged one serves the same
+// snapshot for minutes.
+var snapshotAgeBuckets = []float64{
+	1e-3, 10e-3, 0.1, 0.5, 1, 5, 15, 60, 300, 1800,
+}
+
+func newSessionObs(reg *obs.Registry, opts Options) *sessionObs {
+	m := &sessionObs{
+		epoch:     reg.Gauge("aacc_session_epoch", "Current snapshot epoch."),
+		epochs:    reg.Counter("aacc_session_epochs_total", "Snapshots published."),
+		publish:   reg.Histogram("aacc_session_publish_seconds", "Epoch publication latency (deep-copying the engine state into an immutable snapshot).", nil),
+		converged: reg.Gauge("aacc_session_converged", "1 once the current snapshot is at the fixpoint, else 0."),
+		exhausted: reg.Gauge("aacc_session_exhausted", "1 once the step budget or deadline ran out, else 0."),
+
+		queries:     reg.Counter("aacc_session_queries_total", "Snapshot queries served."),
+		snapshotAge: reg.Histogram("aacc_session_snapshot_age_seconds", "Age of the snapshot at each query (time since its publication).", snapshotAgeBuckets),
+
+		mutations:  reg.Counter("aacc_session_mutations_total", "Mutations applied through the serialized queue."),
+		applyLat:   reg.Histogram("aacc_session_mutation_apply_seconds", "Mutation apply latency on the orchestration goroutine (barrier deletions include their internal RC steps).", nil),
+		queueDepth: reg.Gauge("aacc_session_queue_depth", "Commands enqueued or executing on the serialized queue."),
+	}
+	if opts.StepBudget > 0 {
+		m.budgetLeft = reg.Gauge("aacc_session_step_budget_remaining", "RC steps left before the session exhausts its budget.")
+		m.budgetLeft.Set(float64(opts.StepBudget))
+	}
+	if opts.Deadline > 0 {
+		m.deadlineLeft = reg.Gauge("aacc_session_deadline_remaining_seconds", "Wall-clock seconds left before the session exhausts its deadline.")
+		m.deadlineLeft.Set(opts.Deadline.Seconds())
+	}
+	return m
+}
+
+// published folds one snapshot publication into the gauges.
+func (m *sessionObs) published(sn *Snapshot, took time.Duration) {
+	m.epochs.Inc()
+	m.epoch.Set(float64(sn.Epoch))
+	m.publish.ObserveDuration(took)
+	m.converged.Set(b2f(sn.Converged))
+	m.exhausted.Set(b2f(sn.Exhausted))
+}
+
+// limits refreshes the budget/deadline gauges (those that exist).
+func (m *sessionObs) limits(stepsLeft int, deadlineLeft time.Duration) {
+	if m.budgetLeft != nil {
+		m.budgetLeft.Set(float64(max(stepsLeft, 0)))
+	}
+	if m.deadlineLeft != nil {
+		m.deadlineLeft.Set(max(deadlineLeft, 0).Seconds())
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	goruntime "runtime"
 	"runtime/pprof"
@@ -24,10 +25,41 @@ import (
 	"aacc/internal/gen"
 	"aacc/internal/graph"
 	"aacc/internal/metrics"
+	"aacc/internal/obs"
 	"aacc/internal/partition"
 	"aacc/internal/runtime"
 	"aacc/internal/trace"
 )
+
+// newLogger builds the CLI's structured progress logger: a slog text handler
+// on w at the named level (debug, info, warn, error), with timestamps
+// suppressed so runs are diffable. Progress goes through this; the report
+// itself (rankings, footer) stays plain fmt output.
+func newLogger(w io.Writer, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: lv,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return slog.New(h), nil
+}
 
 // LoadOrGenerate returns a graph from an edge-list file, or generates one
 // with the named generator. Known generators: ba, er, ws, sbm, community,
@@ -160,9 +192,22 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		deadline   = fs.Duration("deadline", 0, "serve mode: wall-clock stepping deadline (0 = none)")
 		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf    = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
+		logLevel   = fs.String("log-level", "info", "progress log level: debug, info, warn, error")
+		obsAddr    = fs.String("obs-addr", "", "serve mode: listen address for the observability endpoint (/metrics, /healthz, /statusz, /debug/pprof)")
+		linger     = fs.Duration("linger", 0, "serve mode: keep the session (and observability endpoint) up this long after the analysis settles")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := newLogger(stdout, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *obsAddr != "" && !*serve {
+		return fmt.Errorf("-obs-addr requires -serve (metrics describe a live session)")
+	}
+	if *linger > 0 && !*serve {
+		return fmt.Errorf("-linger requires -serve")
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -170,7 +215,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	}
 	defer func() {
 		if perr := stopProf(); perr != nil {
-			fmt.Fprintf(stdout, "profile error: %v\n", perr)
+			logger.Error("profile write failed", "err", perr)
 		}
 	}()
 
@@ -189,52 +234,55 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	if *wire {
 		rtKind = runtime.WireTCP
 	}
-	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; %d simulated processors\n",
-		g.NumVertices(), g.NumEdges(), *p)
+	logger.Info("graph ready", "vertices", g.NumVertices(), "edges", g.NumEdges(), "processors", *p)
 
 	// A trace that silently lost rows is worse than no trace: sink write
 	// errors surface as the command's error once the run itself succeeded.
+	// The multiplexer's Err aggregates across every sink, so the exit path
+	// checks one place; per-file closers only add their own close errors.
 	var sinks trace.Multi
-	var sinkErr []func() error
-	openSink := func(path string, build func(io.Writer) core.Tracer, errf func(core.Tracer) error) error {
+	var closers []func() error
+	openSink := func(path string, build func(io.Writer) core.Tracer) error {
 		f, cerr := os.Create(path)
 		if cerr != nil {
 			return cerr
 		}
-		t := build(f)
-		sinks = append(sinks, t)
-		sinkErr = append(sinkErr, func() error {
-			werr := errf(t)
-			if cerr := f.Close(); werr == nil {
-				werr = cerr
-			}
-			if werr != nil {
-				return fmt.Errorf("trace %s: %w", path, werr)
+		sinks = append(sinks, build(f))
+		closers = append(closers, func() error {
+			if cerr := f.Close(); cerr != nil {
+				return fmt.Errorf("trace %s: %w", path, cerr)
 			}
 			return nil
 		})
 		return nil
 	}
 	defer func() {
-		for _, check := range sinkErr {
-			if terr := check(); terr != nil && err == nil {
-				err = terr
+		if terr := sinks.Err(); terr != nil && err == nil {
+			err = fmt.Errorf("trace sink: %w", terr)
+		}
+		for _, c := range closers {
+			if cerr := c(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}
 	}()
 	if *traceCSV != "" {
-		if err := openSink(*traceCSV,
-			func(w io.Writer) core.Tracer { return trace.NewCSV(w) },
-			func(t core.Tracer) error { return t.(*trace.CSV).Err() }); err != nil {
+		if err := openSink(*traceCSV, func(w io.Writer) core.Tracer { return trace.NewCSV(w) }); err != nil {
 			return err
 		}
 	}
 	if *traceJSONL != "" {
-		if err := openSink(*traceJSONL,
-			func(w io.Writer) core.Tracer { return trace.NewJSONL(w) },
-			func(t core.Tracer) error { return t.(*trace.JSONL).Err() }); err != nil {
+		if err := openSink(*traceJSONL, func(w io.Writer) core.Tracer { return trace.NewJSONL(w) }); err != nil {
 			return err
 		}
+	}
+	// The observability endpoint gets its own registry per run; the engine
+	// instruments itself with it and a trace.Metrics sink mirrors the tracer
+	// stream, so one scrape covers both views.
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, trace.NewMetrics(reg))
 	}
 	var tracer core.Tracer
 	switch len(sinks) {
@@ -258,10 +306,10 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		}
 		replayer = changelog.NewReplayer(cl, &core.CutEdgePS{Seed: *seed})
 		replayer.Eager = *eagerDel
-		fmt.Fprintf(stdout, "replaying %d change batches from %s\n", len(cl.Batches), *changes)
+		logger.Info("replaying change log", "batches", len(cl.Batches), "path", *changes)
 	}
 
-	eopts := core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer}
+	eopts := core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer, Obs: reg}
 	wall := time.Now()
 	var scores centrality.Scores
 	var sessionStats sessionSummary
@@ -272,7 +320,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			StepBudget:   *stepBudget,
 			Deadline:     *deadline,
 		}
-		scores, sessionStats, err = serveAnalysis(stdout, g, sopts, replayer)
+		scores, sessionStats, err = serveAnalysis(logger, g, sopts, replayer, reg, *obsAddr, *linger)
 		if err != nil {
 			return err
 		}
@@ -288,8 +336,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 				if err := replayer.Step(e); err != nil {
 					return err
 				}
-				fmt.Fprintf(stdout, "rc step %2d: n=%d m=%d\n",
-					e.StepCount(), e.Graph().NumVertices(), e.Graph().NumEdges())
+				logger.Info("rc step", "step", e.StepCount(),
+					"n", e.Graph().NumVertices(), "m", e.Graph().NumEdges())
 			}
 		case replayer != nil:
 			if err := replayer.ReplayAll(e); err != nil {
@@ -298,8 +346,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		case *anyFlag:
 			for !e.Converged() {
 				rep := e.Step()
-				fmt.Fprintf(stdout, "rc step %2d: %4d rows sent, %4d rows changed\n",
-					rep.Step, rep.RowsSent, rep.RowsChanged)
+				logger.Info("rc step", "step", rep.Step,
+					"rows_sent", rep.RowsSent, "rows_changed", rep.RowsChanged)
 			}
 		default:
 			if _, err := e.Run(); err != nil {
@@ -354,15 +402,30 @@ type sessionSummary struct {
 
 // serveAnalysis runs the analysis as an anytime session: the change log (if
 // any) replays through the serialized mutation queue on one goroutine while
-// this goroutine samples and prints each published epoch — the session's
-// concurrent readers and writers exercised end to end from the CLI.
-func serveAnalysis(stdout io.Writer, g *graph.Graph, opts anytime.Options, replayer *changelog.Replayer) (centrality.Scores, sessionSummary, error) {
+// this goroutine samples and logs each published epoch — the session's
+// concurrent readers and writers exercised end to end from the CLI. With an
+// obsAddr the session also serves /metrics, /healthz, /statusz and pprof for
+// its lifetime (plus linger, which holds the settled session open so late
+// scrapers still see it).
+func serveAnalysis(logger *slog.Logger, g *graph.Graph, opts anytime.Options, replayer *changelog.Replayer, reg *obs.Registry, obsAddr string, linger time.Duration) (centrality.Scores, sessionSummary, error) {
 	ctx := context.Background()
 	s, err := anytime.New(ctx, g, opts)
 	if err != nil {
 		return centrality.Scores{}, sessionSummary{}, err
 	}
 	defer s.Close()
+	if obsAddr != "" {
+		addr, shutdown, err := startObsServer(obsAddr, obsMux(reg, s))
+		if err != nil {
+			return centrality.Scores{}, sessionSummary{}, err
+		}
+		defer func() {
+			if serr := shutdown(); serr != nil {
+				logger.Warn("observability endpoint shutdown", "err", serr)
+			}
+		}()
+		logger.Info("observability endpoint up", "addr", addr)
+	}
 
 	replayErr := make(chan error, 1)
 	go func() {
@@ -386,8 +449,8 @@ func serveAnalysis(stdout io.Writer, g *graph.Graph, opts anytime.Options, repla
 		case sn.Exhausted:
 			state = "exhausted"
 		}
-		fmt.Fprintf(stdout, "epoch %3d: step %3d, n=%d m=%d (%s)\n",
-			sn.Epoch, sn.Step, sn.NumVertices, sn.NumEdges, state)
+		logger.Info("epoch", "epoch", sn.Epoch, "step", sn.Step,
+			"n", sn.NumVertices, "m", sn.NumEdges, "state", state)
 	}
 	for {
 		sn, err := s.WaitFor(ctx, func(sn *anytime.Snapshot) bool { return sn.Epoch > last })
@@ -409,6 +472,10 @@ func serveAnalysis(stdout io.Writer, g *graph.Graph, opts anytime.Options, repla
 		return centrality.Scores{}, sessionSummary{}, err
 	}
 	sample(final)
+	if linger > 0 {
+		logger.Info("lingering before shutdown", "duration", linger)
+		time.Sleep(linger)
+	}
 	return final.Scores(), sessionSummary{steps: final.Step, stats: final.Stats}, nil
 }
 
@@ -483,10 +550,15 @@ func GraphGen(args []string, stdout, stderr io.Writer) error {
 		k      = fs.Int("k", 8, "communities (sbm, community)")
 		seed   = fs.Int64("seed", 1, "random seed")
 		maxW   = fs.Int("maxw", 1, "maximum random edge weight")
-		out    = fs.String("o", "", "output path (default stdout)")
-		format = fs.String("format", "edgelist", "edgelist, pajek or metis")
+		out      = fs.String("o", "", "output path (default stdout)")
+		format   = fs.String("format", "edgelist", "edgelist, pajek or metis")
+		logLevel = fs.String("log-level", "info", "progress log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(stderr, *logLevel)
+	if err != nil {
 		return err
 	}
 	cfg := gen.Config{MaxWeight: int32(*maxW)}
@@ -527,7 +599,6 @@ func GraphGen(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	var err error
 	switch *format {
 	case "edgelist":
 		err = graph.WriteEdgeList(w, g)
@@ -541,7 +612,7 @@ func GraphGen(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "graphgen: wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	logger.Info("graph written", "vertices", g.NumVertices(), "edges", g.NumEdges(), "format", *format)
 	return nil
 }
 

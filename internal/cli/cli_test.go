@@ -15,7 +15,7 @@ func TestAnalysisSmallRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"graph: 120 vertices", "top 3 by closeness", "rc steps:", "simulated parallel time"} {
+	for _, want := range []string{"msg=\"graph ready\" vertices=120", "top 3 by closeness", "rc steps:", "simulated parallel time"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("output missing %q:\n%s", want, s)
 		}
@@ -29,7 +29,7 @@ func TestAnalysisHarmonicAnytime(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	if !strings.Contains(s, "harmonic closeness") || !strings.Contains(s, "rows sent") {
+	if !strings.Contains(s, "harmonic closeness") || !strings.Contains(s, "rows_sent=") {
 		t.Fatalf("missing harmonic/anytime output:\n%s", s)
 	}
 }
@@ -46,7 +46,7 @@ func TestAnalysisWithChangeLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "replaying 2 change batches") {
+	if !strings.Contains(out.String(), "msg=\"replaying change log\" batches=2") {
 		t.Fatalf("replay banner missing:\n%s", out.String())
 	}
 }
@@ -82,7 +82,7 @@ func TestAnalysisServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"replaying 3 change batches", "epoch", "(converged)", "top 3 by closeness", "rc steps:"} {
+	for _, want := range []string{"batches=3", "msg=epoch", "state=converged", "top 3 by closeness", "rc steps:"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("serve output missing %q:\n%s", want, s)
 		}
@@ -104,7 +104,7 @@ func TestAnalysisServeStepBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "(exhausted)") {
+	if !strings.Contains(out.String(), "state=exhausted") {
 		t.Fatalf("budget-limited serve run did not report exhaustion:\n%s", out.String())
 	}
 }
@@ -145,6 +145,15 @@ func TestAnalysisErrors(t *testing.T) {
 	if err := Analysis([]string{"-n", "60", "-changes", "/does/not/exist"}, &out); err == nil {
 		t.Fatal("missing change log accepted")
 	}
+	if err := Analysis([]string{"-log-level", "nope"}, &out); err == nil {
+		t.Fatal("unknown log level accepted")
+	}
+	if err := Analysis([]string{"-obs-addr", ":0"}, &out); err == nil {
+		t.Fatal("-obs-addr without -serve accepted")
+	}
+	if err := Analysis([]string{"-linger", "1s"}, &out); err == nil {
+		t.Fatal("-linger without -serve accepted")
+	}
 }
 
 func TestBenchListAndSingle(t *testing.T) {
@@ -178,7 +187,7 @@ func TestGraphGenToFileAndFormats(t *testing.T) {
 	if err := GraphGen([]string{"-type", "ba", "-n", "100", "-o", edges}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(stderr.String(), "wrote 100 vertices") {
+	if !strings.Contains(stderr.String(), "msg=\"graph written\" vertices=100") {
 		t.Fatalf("summary missing: %s", stderr.String())
 	}
 	data, err := os.ReadFile(edges)
@@ -215,7 +224,7 @@ func TestGraphGenMetisFormatRoundTrip(t *testing.T) {
 	if err := Analysis([]string{"-graph", path, "-p", "4", "-top", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "graph: 90 vertices") {
+	if !strings.Contains(out.String(), "vertices=90") {
 		t.Fatalf("metis graph not loaded:\n%s", out.String())
 	}
 }
@@ -231,7 +240,7 @@ func TestGraphGenPajekRoundTrip(t *testing.T) {
 	if err := Analysis([]string{"-graph", path, "-p", "4", "-top", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "graph: 70 vertices") {
+	if !strings.Contains(out.String(), "vertices=70") {
 		t.Fatalf("pajek graph not loaded:\n%s", out.String())
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"aacc/internal/logp"
+	"aacc/internal/obs"
 )
 
 // Mail is one point-to-point payload with its modelled wire size.
@@ -66,6 +67,37 @@ type Cluster struct {
 
 	mu    sync.Mutex
 	stats Stats
+	om    *obsCounters // nil unless SetObs was called
+}
+
+// obsCounters mirrors the cluster's traffic accounting into a live metrics
+// registry. The counters are written inside the same critical sections that
+// update Stats, once per accounting event (per exchange round, not per
+// message), so the overhead is a handful of atomic adds per RC step.
+type obsCounters struct {
+	bytes      *obs.Counter
+	sends      *obs.Counter
+	rounds     *obs.Counter
+	broadcasts *obs.Counter
+	compute    *obs.Counter
+	comm       *obs.Counter
+}
+
+// SetObs registers the runtime's traffic metrics against reg and starts
+// mirroring every accounting event into them. Call once at setup, before
+// the analysis runs; the engine does this when core.Options.Obs is set.
+func (c *Cluster) SetObs(reg *obs.Registry) {
+	om := &obsCounters{
+		bytes:      reg.Counter("aacc_transport_bytes_total", "Point-to-point payload bytes sent across the runtime's exchanges and broadcasts."),
+		sends:      reg.Counter("aacc_transport_sends_total", "Point-to-point messages sent across the runtime's exchanges and broadcasts."),
+		rounds:     reg.Counter("aacc_transport_exchange_rounds_total", "Personalised all-to-all exchange rounds (one per RC step that sent mail)."),
+		broadcasts: reg.Counter("aacc_transport_broadcasts_total", "Tree broadcasts."),
+		compute:    reg.Counter("aacc_runtime_compute_seconds_total", "Modelled parallel compute seconds (max per-processor time per Parallel section)."),
+		comm:       reg.Counter("aacc_runtime_comm_seconds_total", "Modelled communication seconds priced by the LogP model."),
+	}
+	c.mu.Lock()
+	c.om = om
+	c.mu.Unlock()
 }
 
 // New returns a cluster of p simulated processors priced by model. The
@@ -141,7 +173,11 @@ func (c *Cluster) Parallel(fn func(proc int)) {
 	}
 	c.mu.Lock()
 	c.stats.SimCompute += max
+	om := c.om
 	c.mu.Unlock()
+	if om != nil {
+		om.compute.Add(max.Seconds())
+	}
 }
 
 // Exchange performs the personalised all-to-all of the recombination phase:
@@ -199,7 +235,14 @@ func (c *Cluster) AccountExchange(sizes [][]int) {
 	c.stats.BytesSent += bytes
 	c.stats.MessagesSent += msgs
 	c.stats.ExchangeRounds++
+	om := c.om
 	c.mu.Unlock()
+	if om != nil {
+		om.bytes.Add(float64(bytes))
+		om.sends.Add(float64(msgs))
+		om.rounds.Inc()
+		om.comm.Add(comm)
+	}
 }
 
 // Broadcast accounts a binomial-tree broadcast of one payload of the given
@@ -216,7 +259,14 @@ func (c *Cluster) Broadcast(root int, m *Mail) *Mail {
 	c.stats.BytesSent += int64(m.Bytes) * int64(c.p-1)
 	c.stats.MessagesSent += int64(c.p - 1)
 	c.stats.Broadcasts++
+	om := c.om
 	c.mu.Unlock()
+	if om != nil {
+		om.bytes.Add(float64(m.Bytes) * float64(c.p-1))
+		om.sends.Add(float64(c.p - 1))
+		om.broadcasts.Inc()
+		om.comm.Add(comm)
+	}
 	return m
 }
 
@@ -227,7 +277,11 @@ func (c *Cluster) Broadcast(root int, m *Mail) *Mail {
 func (c *Cluster) AccountCompute(d time.Duration) {
 	c.mu.Lock()
 	c.stats.SimCompute += d
+	om := c.om
 	c.mu.Unlock()
+	if om != nil {
+		om.compute.Add(d.Seconds())
+	}
 }
 
 // AccountPointToPoint prices one extra point-to-point message outside an
@@ -238,5 +292,11 @@ func (c *Cluster) AccountPointToPoint(bytes int) {
 	c.stats.SimComm += time.Duration(comm * float64(time.Second))
 	c.stats.BytesSent += int64(bytes)
 	c.stats.MessagesSent++
+	om := c.om
 	c.mu.Unlock()
+	if om != nil {
+		om.bytes.Add(float64(bytes))
+		om.sends.Inc()
+		om.comm.Add(comm)
+	}
 }

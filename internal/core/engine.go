@@ -33,6 +33,7 @@ import (
 	"aacc/internal/dv"
 	"aacc/internal/graph"
 	"aacc/internal/logp"
+	"aacc/internal/obs"
 	"aacc/internal/partition"
 	"aacc/internal/pqueue"
 	"aacc/internal/runtime"
@@ -74,6 +75,14 @@ type Options struct {
 	// internal/trace for CSV/JSONL sinks). Tracer calls happen on the
 	// orchestration goroutine, never concurrently.
 	Tracer Tracer
+	// Obs, when set, receives live metrics from every layer of the
+	// analysis: the engine registers its per-phase step histograms and
+	// step counters here, and the registry is propagated to the execution
+	// runtime (traffic counters) and its transport (per-peer failure
+	// counters) via runtime.Observable. Nil keeps the Step hot path
+	// entirely metric-free — no timestamps, no atomics (see
+	// internal/obs for the overhead rules).
+	Obs *obs.Registry
 	// EagerLocalRefresh enables the paper's optional recombination
 	// strategy of refreshing all local DVs against each other every RC
 	// step (the Floyd–Warshall local update, O((n/P)²·n) here). It can
@@ -102,6 +111,7 @@ type Engine struct {
 	g     *graph.Graph
 	opts  Options
 	rt    runtime.Runtime // the execution runtime all phases run on
+	om    *engineObs      // live metrics, nil unless Options.Obs was set
 	owner []int16         // vertex ID -> processor, -1 for dead vertices
 	procs []*proc
 	width int // current global ID-space size
@@ -310,6 +320,12 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		opts: opts,
 		rt:   rt,
 	}
+	if opts.Obs != nil {
+		e.om = newEngineObs(opts.Obs)
+		if ob, ok := rt.(runtime.Observable); ok {
+			ob.SetObs(opts.Obs)
+		}
+	}
 	e.installStrategies()
 	e.initialize()
 	return e, nil
@@ -506,10 +522,27 @@ type StepReport struct {
 // iteration.
 func (e *Engine) Step() StepReport {
 	e.step++
+	om := e.om
+	var t time.Time
+	if om != nil {
+		t = time.Now()
+	}
 	mail, rowsSent := e.collectPhase()
+	if om != nil {
+		t = om.observePhase(om.collect, t)
+	}
 	in := e.exchangePhase(mail)
+	if om != nil {
+		t = om.observePhase(om.exchange, t)
+	}
 	changed := e.installRelaxPhase(in)
+	if om != nil {
+		t = om.observePhase(om.install, t)
+	}
 	e.strategiesPhase(changed)
+	if om != nil {
+		om.observePhase(om.strategies, t)
+	}
 
 	rep := StepReport{Step: e.step}
 	for i := 0; i < e.opts.P; i++ {
@@ -523,6 +556,9 @@ func (e *Engine) Step() StepReport {
 	}
 	e.conv = rep.MessagesSent == 0 && rep.RowsChanged == 0
 	rep.Converged = e.conv
+	if om != nil {
+		om.stepDone(rep)
+	}
 	if e.opts.Tracer != nil {
 		e.opts.Tracer.StepDone(rep, e.rt.Stats())
 	}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"time"
+
+	"aacc/internal/obs"
+)
+
+// engineObs is the engine's live-metrics instrument set, built once at
+// construction when Options.Obs is set. Step holds a single nil check on
+// the whole set: with no registry configured the hot path takes no
+// timestamps and touches no atomics (pinned by TestStepAllocsSteadyState
+// and the BenchmarkStepObsOverhead pair).
+type engineObs struct {
+	collect    *obs.Histogram
+	exchange   *obs.Histogram
+	install    *obs.Histogram
+	strategies *obs.Histogram
+
+	steps       *obs.Counter
+	rowsSent    *obs.Counter
+	rowsChanged *obs.Counter
+	messages    *obs.Counter
+
+	step      *obs.Gauge
+	residual  *obs.Gauge
+	converged *obs.Gauge
+}
+
+func newEngineObs(reg *obs.Registry) *engineObs {
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram("aacc_engine_phase_seconds",
+			"Wall-clock duration of each RC-step phase.",
+			obs.DefDurationBuckets, obs.L("phase", name))
+	}
+	return &engineObs{
+		collect:    phase("collect"),
+		exchange:   phase("exchange"),
+		install:    phase("install_relax"),
+		strategies: phase("strategies"),
+
+		steps:       reg.Counter("aacc_engine_steps_total", "RC steps performed."),
+		rowsSent:    reg.Counter("aacc_engine_rows_sent_total", "Boundary DV rows sent across all RC steps."),
+		rowsChanged: reg.Counter("aacc_engine_rows_changed_total", "Local DV rows changed across all RC steps."),
+		messages:    reg.Counter("aacc_engine_messages_total", "Exchange messages sent across all RC steps."),
+
+		step:      reg.Gauge("aacc_engine_step", "Current RC step count."),
+		residual:  reg.Gauge("aacc_engine_residual_rows", "Rows changed by the last RC step — the convergence residual (0 at the fixpoint)."),
+		converged: reg.Gauge("aacc_engine_converged", "1 once the analysis reached its fixpoint, else 0."),
+	}
+}
+
+// observePhase records the time since t into h and returns the new phase
+// start, so Step threads one timestamp through its four phases.
+func (m *engineObs) observePhase(h *obs.Histogram, t time.Time) time.Time {
+	now := time.Now()
+	h.Observe(now.Sub(t).Seconds())
+	return now
+}
+
+// stepDone folds one StepReport into the counters and gauges.
+func (m *engineObs) stepDone(rep StepReport) {
+	m.steps.Inc()
+	m.rowsSent.Add(float64(rep.RowsSent))
+	m.rowsChanged.Add(float64(rep.RowsChanged))
+	m.messages.Add(float64(rep.MessagesSent))
+	m.step.Set(float64(rep.Step))
+	m.residual.Set(float64(rep.RowsChanged))
+	if rep.Converged {
+		m.converged.Set(1)
+	} else {
+		m.converged.Set(0)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family, families
+// sorted by name, children sorted by label set. Histograms render the
+// cumulative _bucket series plus _sum and _count.
+//
+// Rendering takes a point-in-time read of every atomic; concurrent updates
+// may straddle the pass (standard scrape semantics), but each individual
+// sample is consistent.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			switch c := f.children[k].(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, k, formatFloat(c.Value()))
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, k, formatFloat(c.Value()))
+			case *Histogram:
+				writeHistogram(&sb, f.name, f.labels[k], c)
+			}
+		}
+		f.mu.Unlock()
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram child: cumulative buckets (with the
+// le label appended to the child's own labels), then _sum and _count.
+func writeHistogram(sb *strings.Builder, name string, labels []Label, h *Histogram) {
+	merged := make([]Label, len(labels), len(labels)+1)
+	copy(merged, labels)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatFloat(h.upper[i])
+		}
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, labelKey(append(merged[:len(labels)], Label{Key: "le", Value: le})), cum)
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, labelKey(labels), formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, labelKey(labels), cum)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash and
+// newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry's exposition — the
+// /metrics endpoint of a -serve session.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Write errors mean the scraper went away; nothing useful to do.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the full exposition rendering: counter, gauge
+// and histogram families, label rendering and sorting, help and label-value
+// escaping, cumulative buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests\nby peer \\ path", L("peer", `a"b\c`)).Add(3)
+	r.Counter("test_requests_total", "Requests\nby peer \\ path", L("peer", "plain")).Inc()
+	r.Gauge("test_depth", "Queue depth").Set(2.5)
+	h := r.Histogram("test_latency_seconds", "Latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.1) // upper bounds are inclusive
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_depth Queue depth
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_latency_seconds Latency
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 2
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 7.65
+test_latency_seconds_count 4
+# HELP test_requests_total Requests\nby peer \\ path
+# TYPE test_requests_total counter
+test_requests_total{peer="a\"b\\c"} 3
+test_requests_total{peer="plain"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "c", L("k", "v"))
+	b := r.Counter("c_total", "c", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if other := r.Counter("c_total", "c", L("k", "w")); other == a {
+		t.Fatal("distinct label sets share a counter")
+	}
+	h1 := r.Histogram("h_seconds", "h", []float64{1, 2})
+	h2 := r.Histogram("h_seconds", "h", nil)
+	if h1 != h2 {
+		t.Fatal("same histogram name returned distinct children")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("c_total", "now a gauge")
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter accepted a negative add: %v", c.Value())
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges_seconds", "", []float64{1})
+	h.Observe(1) // exactly the bound: lower bucket
+	h.Observe(1.0001)
+	if h.counts[0].Load() != 1 || h.counts[1].Load() != 1 {
+		t.Fatalf("bucket split wrong: %d/%d", h.counts[0].Load(), h.counts[1].Load())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "requests").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<12)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "served_total 9") {
+		t.Fatalf("body missing sample: %s", buf[:n])
+	}
+}
+
+// TestConcurrentUpdatesAndRender hammers one registry from many goroutines —
+// updates, re-registrations and renders interleaved — and checks the final
+// totals. Run under -race this is the registry's concurrency contract.
+func TestConcurrentUpdatesAndRender(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_depth", "")
+			h := r.Histogram("conc_seconds", "", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%2) * 0.9)
+				// Re-registration races against rendering and updates.
+				r.Counter("conc_total", "").Add(0)
+			}
+		}(w)
+	}
+	renderDone := make(chan struct{})
+	go func() {
+		defer close(renderDone)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-renderDone
+	if got := r.Counter("conc_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("conc_depth", "").Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	if got := r.Histogram("conc_seconds", "", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default registry not a stable singleton")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"aacc/internal/cluster"
 	"aacc/internal/logp"
+	"aacc/internal/obs"
 	"aacc/internal/transport"
 )
 
@@ -62,6 +63,15 @@ type Runtime interface {
 	// Close releases any external resources (sockets, processes). The
 	// runtime is unusable afterwards.
 	Close() error
+}
+
+// Observable is implemented by runtimes (and the transports they compose)
+// that can mirror their accounting into a live metrics registry. The engine
+// probes its runtime for this interface when core.Options.Obs is set; both
+// built-in runtimes implement it. Custom backends may ignore it — the
+// engine-level metrics still work without runtime cooperation.
+type Observable interface {
+	SetObs(reg *obs.Registry)
 }
 
 // Kind names a built-in runtime implementation.

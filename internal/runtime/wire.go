@@ -6,6 +6,7 @@ import (
 
 	"aacc/internal/cluster"
 	"aacc/internal/logp"
+	"aacc/internal/obs"
 	"aacc/internal/transport"
 )
 
@@ -97,5 +98,16 @@ func (w *Wire) Exchange(out [][]*cluster.Mail) [][]*cluster.Mail {
 	return in
 }
 
+// SetObs mirrors the embedded cluster's accounting into reg and, when the
+// transport is itself observable (TCPLoopback is), its wire-level counters
+// too — per-peer failures, round counts.
+func (w *Wire) SetObs(reg *obs.Registry) {
+	w.Cluster.SetObs(reg)
+	if ob, ok := w.tr.(Observable); ok {
+		ob.SetObs(reg)
+	}
+}
+
 // Close tears the transport down.
 func (w *Wire) Close() error { return w.tr.Close() }
+

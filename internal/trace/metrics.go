@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"time"
+
+	"aacc/internal/cluster"
+	"aacc/internal/core"
+	"aacc/internal/obs"
+)
+
+// Metrics mirrors the tracer stream into an obs.Registry so that anything
+// visible in a CSV/JSONL trace is also scrapeable from /metrics. It uses its
+// own aacc_trace_* families rather than reusing the engine's — the engine
+// instruments itself directly when given a registry, and a Metrics sink may
+// be attached to an engine that wasn't.
+type Metrics struct {
+	steps       *obs.Counter
+	rowsSent    *obs.Counter
+	rowsChanged *obs.Counter
+	messages    *obs.Counter
+	bytes       *obs.Gauge
+	computeMS   *obs.Gauge
+	commMS      *obs.Gauge
+	events      map[string]*obs.Counter
+	reg         *obs.Registry
+}
+
+// NewMetrics returns a tracer that folds step reports and events into reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		steps:       reg.Counter("aacc_trace_steps_total", "RC steps seen by the tracer stream."),
+		rowsSent:    reg.Counter("aacc_trace_rows_sent_total", "Rows sent, accumulated from step reports."),
+		rowsChanged: reg.Counter("aacc_trace_rows_changed_total", "Rows changed, accumulated from step reports."),
+		messages:    reg.Counter("aacc_trace_messages_total", "Messages, accumulated from step reports."),
+		bytes:       reg.Gauge("aacc_trace_bytes_sent", "Cumulative bytes sent per the latest cluster stats."),
+		computeMS:   reg.Gauge("aacc_trace_sim_compute_ms", "Cumulative simulated compute time (ms) per the latest cluster stats."),
+		commMS:      reg.Gauge("aacc_trace_sim_comm_ms", "Cumulative simulated communication time (ms) per the latest cluster stats."),
+		events:      make(map[string]*obs.Counter),
+		reg:         reg,
+	}
+}
+
+// StepDone implements core.Tracer.
+func (m *Metrics) StepDone(rep core.StepReport, st cluster.Stats) {
+	m.steps.Inc()
+	m.rowsSent.Add(float64(rep.RowsSent))
+	m.rowsChanged.Add(float64(rep.RowsChanged))
+	m.messages.Add(float64(rep.MessagesSent))
+	// Stats are already cumulative over the run; mirror as gauges.
+	m.bytes.Set(float64(st.BytesSent))
+	m.computeMS.Set(float64(st.SimCompute) / float64(time.Millisecond))
+	m.commMS.Set(float64(st.SimComm) / float64(time.Millisecond))
+}
+
+// Event implements core.Tracer. Each kind gets its own labelled counter,
+// created on first sight. The engine delivers events from one goroutine, so
+// the lazily-grown map needs no lock; concurrent use should pre-register or
+// wrap with a mutexed tracer.
+func (m *Metrics) Event(kind, details string) {
+	c, ok := m.events[kind]
+	if !ok {
+		c = m.reg.Counter("aacc_trace_events_total", "Dynamic events by kind.", obs.L("kind", kind))
+		m.events[kind] = c
+	}
+	c.Inc()
+}

@@ -167,18 +167,36 @@ func (m Multi) Event(kind, details string) {
 	}
 }
 
+// Err returns the first error reported by any child sink that exposes an
+// Err() error method (CSV and JSONL do; sinks without one are skipped).
+// Callers can health-check the whole fan-out with one call instead of
+// tracking each sink.
+func (m Multi) Err() error {
+	for _, t := range m {
+		if e, ok := t.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Collector retains every step report and event in memory (tests, tooling).
+// Stats[i] is the cluster snapshot delivered alongside Steps[i].
 type Collector struct {
 	mu     sync.Mutex
 	Steps  []core.StepReport
+	Stats  []cluster.Stats
 	Events []string
 }
 
 // StepDone implements core.Tracer.
-func (c *Collector) StepDone(rep core.StepReport, _ cluster.Stats) {
+func (c *Collector) StepDone(rep core.StepReport, st cluster.Stats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.Steps = append(c.Steps, rep)
+	c.Stats = append(c.Stats, st)
 }
 
 // Event implements core.Tracer.

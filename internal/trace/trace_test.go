@@ -3,12 +3,14 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
 	"aacc/internal/core"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
+	"aacc/internal/obs"
 )
 
 func runTraced(t *testing.T, tr core.Tracer) {
@@ -100,6 +102,73 @@ func TestMultiAndCollector(t *testing.T) {
 		if col.Steps[i].Step != col.Steps[i-1].Step+1 {
 			t.Fatalf("non-sequential steps: %v", col.Steps)
 		}
+	}
+	// Stats travel with their reports, and cumulative counters never shrink.
+	if len(col.Stats) != len(col.Steps) {
+		t.Fatalf("collector has %d stats for %d steps", len(col.Stats), len(col.Steps))
+	}
+	for i := 1; i < len(col.Stats); i++ {
+		if col.Stats[i].BytesSent < col.Stats[i-1].BytesSent {
+			t.Fatalf("bytes regressed at step %d: %d < %d", i, col.Stats[i].BytesSent, col.Stats[i-1].BytesSent)
+		}
+	}
+}
+
+// errWriter fails every write, to poison a sink.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestMultiErrAggregation(t *testing.T) {
+	var ok bytes.Buffer
+	healthy := NewCSV(&ok)
+	broken := NewJSONL(errWriter{})
+	col := &Collector{} // no Err method: must be skipped, not crash
+	m := Multi{col, healthy, broken}
+
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err before any writes: %v", err)
+	}
+	m.Event("edge-add", "1 edges applied")
+	err := m.Err()
+	if err == nil {
+		t.Fatal("Err did not surface the broken sink's failure")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if healthy.Err() != nil {
+		t.Fatalf("healthy sink poisoned: %v", healthy.Err())
+	}
+}
+
+func TestMetricsSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	runTraced(t, m)
+
+	steps := reg.Counter("aacc_trace_steps_total", "").Value()
+	if steps < 2 {
+		t.Fatalf("steps_total = %v, want >= 2", steps)
+	}
+	if reg.Counter("aacc_trace_rows_sent_total", "").Value() == 0 {
+		t.Error("rows_sent_total stayed 0")
+	}
+	if reg.Counter("aacc_trace_messages_total", "").Value() == 0 {
+		t.Error("messages_total stayed 0")
+	}
+	if reg.Gauge("aacc_trace_bytes_sent", "").Value() == 0 {
+		t.Error("bytes_sent gauge stayed 0")
+	}
+	if got := reg.Counter("aacc_trace_events_total", "", obs.L("kind", "edge-add")).Value(); got != 1 {
+		t.Errorf("events_total{kind=edge-add} = %v, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `aacc_trace_events_total{kind="edge-add"} 1`) {
+		t.Errorf("exposition missing labelled event counter:\n%s", sb.String())
 	}
 }
 

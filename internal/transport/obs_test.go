@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"testing"
+
+	"aacc/internal/obs"
+)
+
+// TestTCPLoopbackObsCounters: rounds count on success, and a torn-down mesh
+// surfaces as per-peer failure counters plus a round-failure count — the
+// wire-level signal a live /metrics scrape uses to spot a flaky peer.
+func TestTCPLoopbackObsCounters(t *testing.T) {
+	const n = 3
+	mesh, err := NewTCPLoopback(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mesh.SetObs(reg)
+
+	frames := make([][][]byte, n)
+	for i := range frames {
+		frames[i] = make([][]byte, n)
+	}
+	frames[0][1] = []byte("hello")
+	if _, err := mesh.RoundTrip(frames); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("aacc_transport_wire_rounds_total", "").Value(); got != 1 {
+		t.Fatalf("rounds_total = %v, want 1", got)
+	}
+	if got := reg.Counter("aacc_transport_wire_round_failures_total", "").Value(); got != 0 {
+		t.Fatalf("round_failures_total = %v after a clean round", got)
+	}
+
+	if err := mesh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.RoundTrip(frames); err == nil {
+		t.Fatal("RoundTrip on a closed mesh succeeded")
+	}
+	if got := reg.Counter("aacc_transport_wire_round_failures_total", "").Value(); got != 1 {
+		t.Fatalf("round_failures_total = %v after a failed round, want 1", got)
+	}
+	var peerFails float64
+	for i := 0; i < n; i++ {
+		peerFails += reg.Counter("aacc_transport_peer_failures_total", "", obs.L("peer", string(rune('0'+i)))).Value()
+	}
+	if peerFails == 0 {
+		t.Fatal("no per-peer failure attributed for a failed round")
+	}
+}

@@ -11,7 +11,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
+
+	"aacc/internal/obs"
 )
 
 // TCPLoopback is a full mesh of loopback TCP connections between n
@@ -26,6 +29,34 @@ type TCPLoopback struct {
 
 	closeOnce sync.Once
 	closeErr  error
+
+	// Wire-level metrics, nil unless SetObs was called. peerFail[i] counts
+	// send/receive failures on connections whose remote end is processor i,
+	// so a flaky peer shows up under its own label.
+	rounds     *obs.Counter
+	roundFails *obs.Counter
+	peerFail   []*obs.Counter
+}
+
+// SetObs registers the mesh's wire metrics against reg: round counts, round
+// failures, and per-peer send/receive failure counters. Call once at setup;
+// the wire runtime propagates the engine's registry here.
+func (t *TCPLoopback) SetObs(reg *obs.Registry) {
+	t.rounds = reg.Counter("aacc_transport_wire_rounds_total", "All-to-all rounds carried over the TCP loopback mesh.")
+	t.roundFails = reg.Counter("aacc_transport_wire_round_failures_total", "Rounds that failed with a transport error.")
+	t.peerFail = make([]*obs.Counter, t.n)
+	for i := 0; i < t.n; i++ {
+		t.peerFail[i] = reg.Counter("aacc_transport_peer_failures_total",
+			"Send/receive failures by the remote peer's processor rank.",
+			obs.L("peer", strconv.Itoa(i)))
+	}
+}
+
+// notePeerFailure counts one failed send/receive against the remote peer.
+func (t *TCPLoopback) notePeerFailure(peer int) {
+	if t.peerFail != nil && peer >= 0 && peer < len(t.peerFail) {
+		t.peerFail[peer].Inc()
+	}
 }
 
 // NewTCPLoopback establishes the n×(n−1) directed connection mesh. It binds
@@ -126,6 +157,7 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 	if len(frames) != t.n {
 		return nil, fmt.Errorf("transport: round trip needs %d rows, got %d", t.n, len(frames))
 	}
+	t.rounds.Inc()
 	in := make([][][]byte, t.n)
 	for dst := range in {
 		in[dst] = make([][]byte, t.n)
@@ -150,11 +182,13 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 				}
 				if frame != nil {
 					if err := writeFrame(conn, frame); err != nil {
+						t.notePeerFailure(dst)
 						errs <- fmt.Errorf("transport: send %d->%d: %w", src, dst, err)
 						return
 					}
 				}
 				if err := writeTerminator(conn); err != nil {
+					t.notePeerFailure(dst)
 					errs <- fmt.Errorf("transport: terminate %d->%d: %w", src, dst, err)
 					return
 				}
@@ -172,6 +206,7 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 				}
 				frame, err := readRound(t.inbox[dst][src])
 				if err != nil {
+					t.notePeerFailure(src)
 					errs <- fmt.Errorf("transport: recv %d->%d: %w", src, dst, err)
 					return
 				}
@@ -182,6 +217,7 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 	wg.Wait()
 	close(errs)
 	for err := range errs {
+		t.roundFails.Inc()
 		return nil, err
 	}
 	return in, nil

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Boots a short -serve analysis with the observability endpoint enabled and
+# verifies the live scrape surface: /metrics must expose the engine-phase,
+# transport and session families, /healthz must report ok, /statusz must
+# render the status page. Any non-200 response or missing family fails the
+# script. Usage:
+#
+#   scripts/obs_smoke.sh [addr]
+#
+# addr defaults to 127.0.0.1:9321. Only standard tools (go, curl) are used.
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR="${1:-127.0.0.1:9321}"
+
+LOG="$(mktemp)"
+go run ./cmd/aacc -n 400 -p 4 -serve -obs-addr "$ADDR" -linger 60s -top 3 >"$LOG" 2>&1 &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# go run compiles first; give the endpoint up to 60s to come up.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "obs_smoke: session exited before the endpoint came up" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "obs_smoke: endpoint never came up at $ADDR" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+if [ -z "$METRICS" ]; then
+    echo "obs_smoke: /metrics returned an empty body" >&2
+    exit 1
+fi
+for fam in aacc_engine_phase_seconds aacc_engine_steps_total \
+    aacc_transport_bytes_total aacc_session_epoch aacc_session_publish_seconds; do
+    if ! printf '%s\n' "$METRICS" | grep -q "$fam"; then
+        echo "obs_smoke: /metrics missing family $fam" >&2
+        printf '%s\n' "$METRICS" | head -40 >&2
+        exit 1
+    fi
+done
+
+curl -fsS "http://$ADDR/healthz" | grep -q '^ok epoch=' || {
+    echo "obs_smoke: /healthz did not report ok" >&2
+    exit 1
+}
+curl -fsS "http://$ADDR/statusz" | grep -q 'rc steps' || {
+    echo "obs_smoke: /statusz missing status page content" >&2
+    exit 1
+}
+
+echo "obs_smoke: OK ($(printf '%s\n' "$METRICS" | grep -c '^aacc_') aacc_* sample lines)"
