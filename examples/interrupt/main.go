@@ -40,7 +40,10 @@ func main() {
 	}
 	var trajectory []snap
 	for !engine.Converged() {
-		rep := engine.Step()
+		rep, err := engine.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
 		s := engine.Scores()
 		de := centrality.CompareDistances(engine.Distances(), exactDist)
 		overlap := centrality.TopKOverlap(s, exact, 10)

@@ -83,6 +83,13 @@ type Snapshot struct {
 	Converged bool
 	// Exhausted reports whether the step budget or deadline had run out.
 	Exhausted bool
+	// Degraded reports whether RC steps were failing when this snapshot was
+	// published: the execution runtime could not deliver an exchange round
+	// (wire faults), so the distances are the last good epoch's and the
+	// session keeps retrying with backoff until the fault clears.
+	Degraded bool
+	// Fault describes the failure behind Degraded ("" when healthy).
+	Fault string
 	// NumVertices and NumEdges describe the graph at the snapshot step.
 	NumVertices int
 	NumEdges    int
@@ -163,11 +170,23 @@ type Session struct {
 	// (command closures run on it too), never read from outside.
 	paused       bool
 	exhausted    bool
+	degraded     bool
+	fault        string
+	failBackoff  time.Duration
 	dirty        bool
 	sincePublish int
 	epoch        int
 	baseStep     int
 }
+
+// Failure backoff bounds: after a failed RC step the loop waits before
+// retrying the round, doubling from the minimum up to the cap, so a hard
+// transport outage does not spin the orchestration goroutine. Queries stay
+// lock-free throughout and commands are still served during the wait.
+const (
+	failBackoffMin = 5 * time.Millisecond
+	failBackoffMax = 250 * time.Millisecond
+)
 
 // New builds a session over g — which the session takes ownership of — runs
 // the DD and IA phases, publishes the initial snapshot and starts the
@@ -435,14 +454,63 @@ func (s *Session) loop(ctx context.Context) {
 			}
 			continue
 		}
-		s.eng.Step()
+		if _, err := s.eng.Step(); err != nil {
+			// The step did not happen (the engine rolled its state back).
+			// Mark the session Degraded — the current snapshot stays valid,
+			// it is just not advancing — and retry after a backoff, serving
+			// commands and the deadline while waiting.
+			s.degrade(err)
+			t := time.NewTimer(s.failBackoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-deadlineC:
+				deadlineC = nil
+				s.exhaust("deadline")
+			case cmd := <-s.cmds:
+				s.exec(cmd)
+			case <-t.C:
+			}
+			t.Stop()
+			continue
+		}
+		recovered := s.degraded
+		if recovered {
+			s.degraded = false
+			s.fault = ""
+			if s.tracer != nil {
+				s.tracer.Event(trace.KindFault, "recovered: exchange rounds delivering again")
+			}
+		}
+		s.failBackoff = 0
 		s.dirty = true
 		s.sincePublish++
-		if s.eng.Converged() || s.sincePublish >= s.opts.PublishEvery {
+		tripped := s.checkBudget()
+		if tripped || recovered || s.eng.Converged() || s.sincePublish >= s.opts.PublishEvery {
 			s.publish()
 		}
-		s.checkBudget()
 	}
+}
+
+// degrade records a failed RC step: the fault is remembered for snapshots,
+// the backoff doubles toward its cap, and the first failure of a streak
+// publishes the Degraded transition so readers see it immediately.
+func (s *Session) degrade(err error) {
+	s.fault = err.Error()
+	if s.failBackoff == 0 {
+		s.failBackoff = failBackoffMin
+	} else if s.failBackoff < failBackoffMax {
+		s.failBackoff = min(2*s.failBackoff, failBackoffMax)
+	}
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	if s.tracer != nil {
+		s.tracer.Event(trace.KindFault, "degraded: "+err.Error())
+	}
+	s.publish()
 }
 
 // exec runs one command on the orchestration goroutine. Mutations publish a
@@ -466,33 +534,48 @@ func (s *Session) exec(cmd *command) {
 			}
 			s.tracer.Event(trace.KindMutation, detail)
 		}
+		// One publication covers both the mutation and a budget trip it may
+		// have caused: checkBudget only marks the transition, so a mutation
+		// that exhausts the step budget still produces a single new epoch.
 		s.checkBudget()
 		s.publish()
 	}
 	cmd.done <- err
 }
 
-// checkBudget flips the session to Exhausted once the step budget is spent.
-func (s *Session) checkBudget() {
+// checkBudget flips the session to Exhausted once the step budget is spent,
+// reporting whether this call made the transition. It never publishes — the
+// caller folds the transition into its own publication.
+func (s *Session) checkBudget() bool {
 	if s.om != nil {
 		s.om.limits(s.opts.StepBudget-(s.eng.StepCount()-s.baseStep),
 			s.opts.Deadline-time.Since(s.started))
 	}
 	if !s.exhausted && s.opts.StepBudget > 0 && s.eng.StepCount()-s.baseStep >= s.opts.StepBudget {
-		s.exhaust("step budget")
+		return s.markExhausted("step budget")
 	}
+	return false
 }
 
-// exhaust marks the session out of compute and publishes the transition.
-func (s *Session) exhaust(reason string) {
+// markExhausted records the out-of-compute transition without publishing,
+// reporting whether it was a transition (false if already exhausted).
+func (s *Session) markExhausted(reason string) bool {
 	if s.exhausted {
-		return
+		return false
 	}
 	s.exhausted = true
 	if s.tracer != nil {
 		s.tracer.Event(trace.KindEpoch, "exhausted: "+reason)
 	}
-	s.publish()
+	return true
+}
+
+// exhaust marks the session out of compute and publishes the transition
+// (the deadline path, where no other publication is imminent).
+func (s *Session) exhaust(reason string) {
+	if s.markExhausted(reason) {
+		s.publish()
+	}
 }
 
 // publish snapshots the engine state into a fresh epoch. Every distance row
@@ -507,6 +590,8 @@ func (s *Session) publish() {
 		Step:        s.eng.StepCount(),
 		Converged:   s.eng.Converged(),
 		Exhausted:   s.exhausted,
+		Degraded:    s.degraded,
+		Fault:       s.fault,
 		NumVertices: g.NumVertices(),
 		NumEdges:    g.NumEdges(),
 		Stats:       s.eng.Stats(),
@@ -529,7 +614,7 @@ func (s *Session) publish() {
 	}
 	if s.tracer != nil {
 		s.tracer.Event(trace.KindEpoch, fmt.Sprintf(
-			"epoch %d at step %d (converged=%t exhausted=%t, %d vertices, %d edges)",
-			snap.Epoch, snap.Step, snap.Converged, snap.Exhausted, snap.NumVertices, snap.NumEdges))
+			"epoch %d at step %d (converged=%t exhausted=%t degraded=%t, %d vertices, %d edges)",
+			snap.Epoch, snap.Step, snap.Converged, snap.Exhausted, snap.Degraded, snap.NumVertices, snap.NumEdges))
 	}
 }

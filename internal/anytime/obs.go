@@ -16,6 +16,7 @@ type sessionObs struct {
 	publish   *obs.Histogram
 	converged *obs.Gauge
 	exhausted *obs.Gauge
+	degraded  *obs.Gauge
 
 	queries     *obs.Counter
 	snapshotAge *obs.Histogram
@@ -44,6 +45,7 @@ func newSessionObs(reg *obs.Registry, opts Options) *sessionObs {
 		publish:   reg.Histogram("aacc_session_publish_seconds", "Epoch publication latency (deep-copying the engine state into an immutable snapshot).", nil),
 		converged: reg.Gauge("aacc_session_converged", "1 once the current snapshot is at the fixpoint, else 0."),
 		exhausted: reg.Gauge("aacc_session_exhausted", "1 once the step budget or deadline ran out, else 0."),
+		degraded:  reg.Gauge("aacc_session_degraded", "1 while RC steps are failing to deliver their exchange round (the session serves the last good epoch and keeps retrying), else 0."),
 
 		queries:     reg.Counter("aacc_session_queries_total", "Snapshot queries served."),
 		snapshotAge: reg.Histogram("aacc_session_snapshot_age_seconds", "Age of the snapshot at each query (time since its publication).", snapshotAgeBuckets),
@@ -70,6 +72,7 @@ func (m *sessionObs) published(sn *Snapshot, took time.Duration) {
 	m.publish.ObserveDuration(took)
 	m.converged.Set(b2f(sn.Converged))
 	m.exhausted.Set(b2f(sn.Exhausted))
+	m.degraded.Set(b2f(sn.Degraded))
 }
 
 // limits refreshes the budget/deadline gauges (those that exist).

@@ -245,7 +245,9 @@ func (r *Replayer) Resolve(name string) (graph.ID, bool) {
 // before the engine's step count. Call in a loop until Done, then run the
 // engine to convergence.
 func (r *Replayer) Step(e *core.Engine) error {
-	e.Step()
+	if _, err := e.Step(); err != nil {
+		return err
+	}
 	return r.ApplyDue(e, e.StepCount())
 }
 

@@ -6,6 +6,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,11 +25,13 @@ import (
 	"aacc/internal/experiments"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
+	"aacc/internal/logp"
 	"aacc/internal/metrics"
 	"aacc/internal/obs"
 	"aacc/internal/partition"
 	"aacc/internal/runtime"
 	"aacc/internal/trace"
+	"aacc/internal/transport"
 )
 
 // newLogger builds the CLI's structured progress logger: a slog text handler
@@ -184,6 +187,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		eagerDel   = fs.Bool("eager-deletions", false, "barrier-free (eager) deletion mode for the change log")
 		rtName     = fs.String("runtime", "sim", "execution runtime: sim (in-process) or tcp (boundary DVs over a real TCP loopback mesh)")
 		wire       = fs.Bool("wire", false, "deprecated alias for -runtime tcp")
+		faultRate  = fs.Float64("fault-rate", 0, "tcp runtime: inject deterministic wire faults (drops, delays, truncated/corrupt frames) on this fraction of exchange rounds, in [0,1)")
+		faultSeed  = fs.Int64("fault-seed", 1, "seed for the deterministic fault-injection schedule")
 		traceCSV   = fs.String("trace", "", "write a CSV step/event trace to this file")
 		traceJSONL = fs.String("trace-jsonl", "", "write a JSONL step/event trace to this file")
 		serve      = fs.Bool("serve", false, "run as an anytime session: the change log replays through the mutation queue while epoch snapshots are sampled concurrently")
@@ -233,6 +238,12 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	}
 	if *wire {
 		rtKind = runtime.WireTCP
+	}
+	if *faultRate < 0 || *faultRate >= 1 {
+		return fmt.Errorf("-fault-rate must be in [0,1), got %g", *faultRate)
+	}
+	if *faultRate > 0 && rtKind != runtime.WireTCP {
+		return fmt.Errorf("-fault-rate requires -runtime tcp (faults are injected into the wire transport)")
 	}
 	logger.Info("graph ready", "vertices", g.NumVertices(), "edges", g.NumEdges(), "processors", *p)
 
@@ -310,9 +321,50 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	}
 
 	eopts := core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer, Obs: reg}
+	if *faultRate > 0 {
+		rate, fseed := *faultRate, *faultSeed
+		eopts.RuntimeFactory = func(p int, model logp.Params) (runtime.Runtime, error) {
+			mesh, err := transport.NewTCPLoopback(p)
+			if err != nil {
+				return nil, err
+			}
+			faulty := transport.NewFaulty(mesh, transport.FaultOptions{Rate: rate, Seed: fseed})
+			return runtime.NewWire(p, model, core.WireCodec{}, faulty), nil
+		}
+		logger.Info("fault injection armed", "rate", rate, "seed", fseed)
+	}
 	wall := time.Now()
 	var scores centrality.Scores
 	var sessionStats sessionSummary
+	// Batch-mode retry bounds for undeliverable exchange rounds: a failed
+	// Step leaves the engine state unchanged, so the one-shot CLI retries it
+	// with doubling backoff like the session layer does, but gives up after
+	// this many consecutive failures so a hard outage still terminates.
+	const (
+		stepRetryLimit   = 16
+		stepRetryBackoff = 5 * time.Millisecond
+		stepRetryMax     = 250 * time.Millisecond
+	)
+	retrySteps := func(logger *slog.Logger, e *core.Engine, f func() error) error {
+		backoff := stepRetryBackoff
+		fails := 0
+		for {
+			before := e.StepCount()
+			err := f()
+			if err == nil || !errors.Is(err, core.ErrExchange) {
+				return err
+			}
+			if e.StepCount() > before {
+				fails, backoff = 0, stepRetryBackoff
+			}
+			if fails++; fails >= stepRetryLimit {
+				return fmt.Errorf("%d consecutive undeliverable exchange rounds: %w", fails, err)
+			}
+			logger.Warn("exchange round failed; retrying", "consecutive", fails, "backoff", backoff, "err", err)
+			time.Sleep(backoff)
+			backoff = min(2*backoff, stepRetryMax)
+		}
+	}
 	if *serve {
 		sopts := anytime.Options{
 			Engine:       eopts,
@@ -333,24 +385,31 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		switch {
 		case replayer != nil && *anyFlag:
 			for !replayer.Done() || !e.Converged() {
-				if err := replayer.Step(e); err != nil {
+				if err := retrySteps(logger, e, func() error { return replayer.Step(e) }); err != nil {
 					return err
 				}
 				logger.Info("rc step", "step", e.StepCount(),
 					"n", e.Graph().NumVertices(), "m", e.Graph().NumEdges())
 			}
 		case replayer != nil:
-			if err := replayer.ReplayAll(e); err != nil {
+			if err := retrySteps(logger, e, func() error { return replayer.ReplayAll(e) }); err != nil {
 				return err
 			}
 		case *anyFlag:
 			for !e.Converged() {
-				rep := e.Step()
+				var rep core.StepReport
+				if err := retrySteps(logger, e, func() error {
+					var err error
+					rep, err = e.Step()
+					return err
+				}); err != nil {
+					return err
+				}
 				logger.Info("rc step", "step", rep.Step,
 					"rows_sent", rep.RowsSent, "rows_changed", rep.RowsChanged)
 			}
 		default:
-			if _, err := e.Run(); err != nil {
+			if err := retrySteps(logger, e, func() error { _, err := e.Run(); return err }); err != nil {
 				return err
 			}
 		}
@@ -446,8 +505,15 @@ func serveAnalysis(logger *slog.Logger, g *graph.Graph, opts anytime.Options, re
 		switch {
 		case sn.Converged:
 			state = "converged"
+		case sn.Degraded:
+			state = "degraded"
 		case sn.Exhausted:
 			state = "exhausted"
+		}
+		if sn.Degraded {
+			logger.Warn("epoch", "epoch", sn.Epoch, "step", sn.Step,
+				"n", sn.NumVertices, "m", sn.NumEdges, "state", state, "fault", sn.Fault)
+			return
 		}
 		logger.Info("epoch", "epoch", sn.Epoch, "step", sn.Step,
 			"n", sn.NumVertices, "m", sn.NumEdges, "state", state)

@@ -30,6 +30,13 @@ func obsMux(reg *obs.Registry, s *anytime.Session) *http.ServeMux {
 			http.Error(w, "session stopped", http.StatusServiceUnavailable)
 		default:
 			sn := s.Snapshot()
+			if sn.Degraded {
+				// Still 200: the session is alive and serving its last good
+				// epoch; "degraded" tells probes the analysis is not advancing.
+				fmt.Fprintf(w, "degraded epoch=%d age=%s fault=%q\n",
+					sn.Epoch, sn.Age().Round(time.Millisecond), sn.Fault)
+				return
+			}
 			fmt.Fprintf(w, "ok epoch=%d age=%s\n", sn.Epoch, sn.Age().Round(time.Millisecond))
 		}
 	})
@@ -39,11 +46,16 @@ func obsMux(reg *obs.Registry, s *anytime.Session) *http.ServeMux {
 		switch {
 		case sn.Converged:
 			state = "converged"
+		case sn.Degraded:
+			state = "degraded"
 		case sn.Exhausted:
 			state = "exhausted"
 		}
 		fmt.Fprintf(w, "anytime closeness-centrality session\n\n")
 		fmt.Fprintf(w, "state:     %s\n", state)
+		if sn.Degraded {
+			fmt.Fprintf(w, "fault:     %s\n", sn.Fault)
+		}
 		fmt.Fprintf(w, "epoch:     %d (age %s)\n", sn.Epoch, sn.Age().Round(time.Millisecond))
 		fmt.Fprintf(w, "rc steps:  %d\n", sn.Step)
 		fmt.Fprintf(w, "graph:     %d vertices, %d edges\n", sn.NumVertices, sn.NumEdges)

@@ -184,8 +184,10 @@ func (c *Cluster) Parallel(fn func(proc int)) {
 // out[src][dst] is the mail from src to dst (nil = nothing). It returns
 // in[dst][src], and prices the exchange with the paper's schedule in which
 // only one message traverses the network at any given time (the P(P-1)
-// sends are sequential on the wire).
-func (c *Cluster) Exchange(out [][]*Mail) [][]*Mail {
+// sends are sequential on the wire). The in-memory exchange hands payloads
+// over by reference and cannot fail; the error return exists for the shared
+// runtime.Runtime contract, where wire-backed exchanges can.
+func (c *Cluster) Exchange(out [][]*Mail) ([][]*Mail, error) {
 	if len(out) != c.p {
 		panic(fmt.Sprintf("cluster: Exchange needs %d rows, got %d", c.p, len(out)))
 	}
@@ -211,7 +213,7 @@ func (c *Cluster) Exchange(out [][]*Mail) [][]*Mail {
 		}
 	}
 	c.AccountExchange(sizes)
-	return in
+	return in, nil
 }
 
 // AccountExchange prices one personalised all-to-all round whose message

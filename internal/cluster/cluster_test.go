@@ -52,7 +52,10 @@ func TestExchangeRouting(t *testing.T) {
 	out[0][2] = &Mail{Payload: "a", Bytes: 10}
 	out[2][0] = &Mail{Payload: "b", Bytes: 20}
 	out[1][0] = &Mail{Payload: "c", Bytes: 30}
-	in := c.Exchange(out)
+	in, err := c.Exchange(out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if in[2][0] == nil || in[2][0].Payload != "a" {
 		t.Fatal("mail 0->2 lost")
 	}
@@ -74,7 +77,10 @@ func TestExchangeRouting(t *testing.T) {
 func TestExchangeIgnoresSelfMail(t *testing.T) {
 	c := New(2, model(2))
 	out := [][]*Mail{{{Payload: "self", Bytes: 5}, nil}, nil}
-	in := c.Exchange(out)
+	in, err := c.Exchange(out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if in[0][0] != nil {
 		t.Fatal("self mail delivered")
 	}

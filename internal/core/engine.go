@@ -24,6 +24,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -194,6 +195,12 @@ type proc struct {
 	mailBuf   []*cluster.Mail
 	mailCells []cluster.Mail
 	msgCells  []boundaryMsg
+
+	// roundRows records the rows whose send-side bookkeeping the last
+	// collect phase consumed, so a failed exchange can re-mark them dirty
+	// (rollbackCollect) instead of silently dropping their updates. Reused
+	// across steps.
+	roundRows []graph.ID
 }
 
 // extPending records how a held snapshot changed since the last relax.
@@ -514,14 +521,26 @@ type StepReport struct {
 	Converged    bool
 }
 
+// ErrExchange tags step failures caused by the execution runtime's exchange
+// (a wire transport that exhausted its retry budget, a frame that failed to
+// decode). A step that fails with it left the engine state unchanged: the
+// distance vectors, dirty-row bookkeeping and step count are exactly what
+// they were before the call, and a later Step retries the same work.
+var ErrExchange = errors.New("core: exchange failed")
+
 // Step performs one recombination step through the four explicit phases of
 // the RC pipeline — collect → exchange → install/relax → strategies — all
 // running on the engine's execution runtime. Dynamic changes are applied
 // between steps via the Apply* methods; the strategies phase mirrors the
 // paper's recombination template where the strategy runs at line 17 of each
 // iteration.
-func (e *Engine) Step() StepReport {
-	e.step++
+//
+// A non-nil error (always wrapping ErrExchange) means the step did not
+// happen: the exchange round was undeliverable, the collect phase's
+// bookkeeping was rolled back (the affected rows are re-marked for a full
+// resend, so the next successful round resynchronises every peer), and no
+// distances changed. The in-memory runtime never fails; wire runtimes can.
+func (e *Engine) Step() (StepReport, error) {
 	om := e.om
 	var t time.Time
 	if om != nil {
@@ -531,7 +550,16 @@ func (e *Engine) Step() StepReport {
 	if om != nil {
 		t = om.observePhase(om.collect, t)
 	}
-	in := e.exchangePhase(mail)
+	in, err := e.exchangePhase(mail)
+	if err != nil {
+		e.rollbackCollect()
+		if om != nil {
+			om.stepFailures.Inc()
+		}
+		e.trace("fault", "step %d exchange failed: %v", e.step+1, err)
+		return StepReport{}, fmt.Errorf("%w: step %d: %w", ErrExchange, e.step+1, err)
+	}
+	e.step++
 	if om != nil {
 		t = om.observePhase(om.exchange, t)
 	}
@@ -562,7 +590,28 @@ func (e *Engine) Step() StepReport {
 	if e.opts.Tracer != nil {
 		e.opts.Tracer.StepDone(rep, e.rt.Stats())
 	}
-	return rep
+	return rep, nil
+}
+
+// rollbackCollect undoes the send-side bookkeeping the collect phase
+// consumed after the exchange failed to deliver it: every row that entered
+// the failed round is re-marked dirty with a forced full resend. Full rows
+// are the resync protocol — the failed round may have delivered frames to
+// some peers before dying, and after a retried delta the sender could no
+// longer tell which snapshot a peer actually holds; a full row is correct
+// against any of them.
+func (e *Engine) rollbackCollect() {
+	e.rt.Parallel(func(i int) {
+		pr := e.procs[i]
+		for _, v := range pr.roundRows {
+			st := pr.state(v)
+			st.sendFull = true
+			st.upToDate = 0
+			st.sendCols.Release()
+			pr.dirtySend.Add(v)
+		}
+		pr.roundRows = pr.roundRows[:0]
+	})
 }
 
 // collectPhase gathers every processor's changed boundary rows into one
@@ -583,8 +632,9 @@ func (e *Engine) collectPhase() (mail [][]*cluster.Mail, rowsSent []int) {
 }
 
 // exchangePhase carries the personalised all-to-all over the execution
-// runtime, returning the received mail indexed [dst][src].
-func (e *Engine) exchangePhase(mail [][]*cluster.Mail) [][]*cluster.Mail {
+// runtime, returning the received mail indexed [dst][src]. A non-nil error
+// means the round was not delivered and no mail may be installed.
+func (e *Engine) exchangePhase(mail [][]*cluster.Mail) ([][]*cluster.Mail, error) {
 	return e.rt.Exchange(mail)
 }
 
@@ -615,7 +665,8 @@ func (e *Engine) strategiesPhase(changed []int) {
 
 // Run executes RC steps until convergence (a step that exchanged nothing
 // and changed nothing) or until MaxSteps, returning the number of steps
-// taken in this call.
+// taken in this call. A step that fails (ErrExchange) aborts the run: the
+// engine state is intact and Run may be called again to resume.
 func (e *Engine) Run() (int, error) {
 	max := e.opts.MaxSteps
 	if max <= 0 {
@@ -626,7 +677,9 @@ func (e *Engine) Run() (int, error) {
 		if steps >= max {
 			return steps, fmt.Errorf("core: no convergence after %d RC steps", steps)
 		}
-		e.Step()
+		if _, err := e.Step(); err != nil {
+			return steps, err
+		}
 		steps++
 	}
 	return steps, nil
@@ -770,6 +823,7 @@ func (pr *proc) collectMail(e *Engine) ([]*cluster.Mail, int) {
 	}
 	mail := pr.mailBuf
 	clear(mail)
+	pr.roundRows = pr.roundRows[:0]
 	if pr.dirtySend.Len() == 0 {
 		return mail, 0
 	}
@@ -787,6 +841,7 @@ func (pr *proc) collectMail(e *Engine) ([]*cluster.Mail, int) {
 			st.sendFull, st.upToDate = false, 0
 			continue
 		}
+		pr.roundRows = append(pr.roundRows, v)
 		row := pr.store.Row(v)
 		var cols, vals []int32
 		if !st.sendFull {

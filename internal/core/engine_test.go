@@ -407,7 +407,10 @@ func TestConvergenceReportedOnce(t *testing.T) {
 	g := gen.Path(30)
 	e := mustEngine(t, g, 4)
 	mustRun(t, e)
-	rep := e.Step() // extra step after convergence must be a no-op
+	rep, err := e.Step() // extra step after convergence must be a no-op
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.MessagesSent != 0 || rep.RowsChanged != 0 {
 		t.Fatalf("post-convergence step did work: %+v", rep)
 	}

@@ -17,10 +17,11 @@ type engineObs struct {
 	install    *obs.Histogram
 	strategies *obs.Histogram
 
-	steps       *obs.Counter
-	rowsSent    *obs.Counter
-	rowsChanged *obs.Counter
-	messages    *obs.Counter
+	steps        *obs.Counter
+	stepFailures *obs.Counter
+	rowsSent     *obs.Counter
+	rowsChanged  *obs.Counter
+	messages     *obs.Counter
 
 	step      *obs.Gauge
 	residual  *obs.Gauge
@@ -39,10 +40,11 @@ func newEngineObs(reg *obs.Registry) *engineObs {
 		install:    phase("install_relax"),
 		strategies: phase("strategies"),
 
-		steps:       reg.Counter("aacc_engine_steps_total", "RC steps performed."),
-		rowsSent:    reg.Counter("aacc_engine_rows_sent_total", "Boundary DV rows sent across all RC steps."),
-		rowsChanged: reg.Counter("aacc_engine_rows_changed_total", "Local DV rows changed across all RC steps."),
-		messages:    reg.Counter("aacc_engine_messages_total", "Exchange messages sent across all RC steps."),
+		steps:        reg.Counter("aacc_engine_steps_total", "RC steps performed."),
+		stepFailures: reg.Counter("aacc_engine_step_failures_total", "RC steps aborted by an undeliverable exchange round (state rolled back, step retried later)."),
+		rowsSent:     reg.Counter("aacc_engine_rows_sent_total", "Boundary DV rows sent across all RC steps."),
+		rowsChanged:  reg.Counter("aacc_engine_rows_changed_total", "Local DV rows changed across all RC steps."),
+		messages:     reg.Counter("aacc_engine_messages_total", "Exchange messages sent across all RC steps."),
 
 		step:      reg.Gauge("aacc_engine_step", "Current RC step count."),
 		residual:  reg.Gauge("aacc_engine_residual_rows", "Rows changed by the last RC step — the convergence residual (0 at the fixpoint)."),

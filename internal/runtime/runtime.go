@@ -46,8 +46,11 @@ type Runtime interface {
 	Parallel(fn func(proc int))
 	// Exchange performs one personalised all-to-all: out[src][dst] is the
 	// mail from src to dst (nil = nothing); the result is indexed
-	// [dst][src].
-	Exchange(out [][]*cluster.Mail) [][]*cluster.Mail
+	// [dst][src]. A non-nil error means the round was not delivered (the
+	// in-memory runtime never fails; wire runtimes can, after exhausting
+	// their transport's retry budget): no partial results are returned and
+	// the caller must treat the step as not having happened.
+	Exchange(out [][]*cluster.Mail) ([][]*cluster.Mail, error)
 	// Broadcast accounts a tree broadcast from root and returns the payload
 	// for the caller to distribute.
 	Broadcast(root int, m *cluster.Mail) *cluster.Mail

@@ -34,11 +34,13 @@ func NewWire(p int, model logp.Params, codec cluster.WireCodec, tr transport.Tra
 
 // Exchange implements Runtime over the byte transport: encode, round-trip,
 // decode. Frame sizes — real serialised bytes — feed the LogP pricing and
-// traffic counters; encode/decode time is charged as compute. Transport or
-// codec failures are programming/environment errors on an in-process
-// loopback and surface as panics, matching the in-memory Exchange's
-// no-error contract.
-func (w *Wire) Exchange(out [][]*cluster.Mail) [][]*cluster.Mail {
+// traffic counters; encode/decode time is charged as compute. Transport and
+// codec failures surface as errors — the round is reported undelivered, no
+// partial results are returned, and the caller decides whether to degrade or
+// abort. Shape violations remain panics: they are caller bugs, not wire
+// weather. A failed round is not folded into the traffic accounting (its
+// bytes never arrived); only the encode/decode work is charged as compute.
+func (w *Wire) Exchange(out [][]*cluster.Mail) ([][]*cluster.Mail, error) {
 	p := w.P()
 	if len(out) != p {
 		panic(fmt.Sprintf("runtime: Exchange needs %d rows, got %d", p, len(out)))
@@ -59,14 +61,16 @@ func (w *Wire) Exchange(out [][]*cluster.Mail) [][]*cluster.Mail {
 			}
 			frame, err := w.codec.Encode(m.Payload)
 			if err != nil {
-				panic(fmt.Sprintf("runtime: encoding %d->%d: %v", src, dst, err))
+				w.AccountCompute(time.Since(start))
+				return nil, fmt.Errorf("runtime: encoding %d->%d: %w", src, dst, err)
 			}
 			frames[src][dst] = frame
 		}
 	}
 	inFrames, err := w.tr.RoundTrip(frames)
 	if err != nil {
-		panic(fmt.Sprintf("runtime: transport round trip: %v", err))
+		w.AccountCompute(time.Since(start))
+		return nil, fmt.Errorf("runtime: transport round trip: %w", err)
 	}
 	in := make([][]*cluster.Mail, p)
 	sizes := make([][]int, p)
@@ -88,14 +92,15 @@ func (w *Wire) Exchange(out [][]*cluster.Mail) [][]*cluster.Mail {
 			}
 			payload, err := w.codec.Decode(frame)
 			if err != nil {
-				panic(fmt.Sprintf("runtime: decoding %d->%d: %v", src, dst, err))
+				w.AccountCompute(time.Since(start))
+				return nil, fmt.Errorf("runtime: decoding %d->%d: %w", src, dst, err)
 			}
 			in[dst][src] = &cluster.Mail{Payload: payload, Bytes: len(frame)}
 		}
 	}
 	w.AccountCompute(time.Since(start))
 	w.AccountExchange(sizes)
-	return in
+	return in, nil
 }
 
 // SetObs mirrors the embedded cluster's accounting into reg and, when the

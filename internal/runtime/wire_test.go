@@ -67,7 +67,10 @@ func TestWireExchangeRoutesAndAccounts(t *testing.T) {
 	}
 	out[0][2] = &cluster.Mail{Payload: "hello", Bytes: 999} // Bytes estimate ignored in wire mode
 	out[1][0] = &cluster.Mail{Payload: "yo", Bytes: 999}
-	in := w.Exchange(out)
+	in, err := w.Exchange(out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if in[2][0] == nil || in[2][0].Payload != "hello" {
 		t.Fatalf("payload lost: %+v", in[2][0])
 	}
@@ -86,26 +89,27 @@ func TestWireExchangeRoutesAndAccounts(t *testing.T) {
 	}
 }
 
-func TestWireExchangePanicsOnTransportFailure(t *testing.T) {
+func TestWireExchangeErrorsOnTransportFailure(t *testing.T) {
 	w := NewWire(2, model(2), stringCodec{}, &chanTransport{n: 2, fail: true})
 	out := [][]*cluster.Mail{{nil, {Payload: "x", Bytes: 1}}, {nil, nil}}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on transport failure")
-		}
-	}()
-	w.Exchange(out)
+	in, err := w.Exchange(out)
+	if err == nil {
+		t.Fatal("expected error on transport failure")
+	}
+	if in != nil {
+		t.Fatal("failed exchange returned partial results")
+	}
+	if st := w.Stats(); st.ExchangeRounds != 0 || st.BytesSent != 0 {
+		t.Fatalf("failed round folded into traffic accounting: %+v", st)
+	}
 }
 
-func TestWireExchangePanicsOnCodecFailure(t *testing.T) {
+func TestWireExchangeErrorsOnCodecFailure(t *testing.T) {
 	w := NewWire(2, model(2), stringCodec{}, &chanTransport{n: 2})
 	out := [][]*cluster.Mail{{nil, {Payload: 42, Bytes: 1}}, {nil, nil}}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on codec failure")
-		}
-	}()
-	w.Exchange(out)
+	if _, err := w.Exchange(out); err == nil {
+		t.Fatal("expected error on codec failure")
+	}
 }
 
 func TestNewWireValidates(t *testing.T) {

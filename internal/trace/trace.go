@@ -28,6 +28,9 @@ const (
 	KindMutation = "mutation"
 	// KindQuery reports cumulative snapshot-query counts at session close.
 	KindQuery = "query"
+	// KindFault marks a failed RC step (an undeliverable exchange round)
+	// and the session's degrade/recover transitions around it.
+	KindFault = "fault"
 )
 
 // CSV writes one row per RC step:

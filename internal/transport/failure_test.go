@@ -1,18 +1,31 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"aacc/internal/obs"
 )
 
-// Failure-path coverage: the framing reader against truncated and malformed
-// streams, Close semantics under concurrency, and RoundTrip on a torn-down
-// mesh. The engine's wire runtime turns any error from these paths into a
-// panic, so each must actually surface as an error rather than a hang.
+// Failure-path coverage: the framing reader against truncated, stale and
+// malformed streams, retry and resynchronisation after failed rounds, setup
+// against misbehaving dialers, and Close semantics under concurrency. The
+// contract throughout: errors surface within the configured deadlines, stale
+// bytes are never returned as fresh data, and nothing hangs.
+
+// framingMesh returns a connection-less TCPLoopback carrying only the config,
+// for driving readRound directly.
+func framingMesh() *TCPLoopback {
+	return &TCPLoopback{n: 2, cfg: Config{}.Normalize()}
+}
 
 // pipePair returns a connected in-process conn pair with a deadline so a
 // framing bug fails the test instead of hanging it.
@@ -29,10 +42,10 @@ func pipePair(t *testing.T) (net.Conn, net.Conn) {
 func TestReadRoundShortHeader(t *testing.T) {
 	a, b := pipePair(t)
 	go func() {
-		a.Write([]byte{7, 0}) // half a length header
+		a.Write([]byte{7, 0}) // a fraction of a record header
 		a.Close()
 	}()
-	if _, err := readRound(b); err == nil {
+	if _, err := framingMesh().readRound(bufio.NewReader(b), 1); err == nil {
 		t.Fatal("truncated header accepted")
 	}
 }
@@ -40,13 +53,14 @@ func TestReadRoundShortHeader(t *testing.T) {
 func TestReadRoundTruncatedPayload(t *testing.T) {
 	a, b := pipePair(t)
 	go func() {
-		var hdr [4]byte
-		binary.LittleEndian.PutUint32(hdr[:], 100) // promise 100 bytes
+		var hdr [recordHdrLen]byte
+		putRecordHeader(hdr[:], 1, 100) // promise 100 bytes
+		binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(hdr[:12]))
 		a.Write(hdr[:])
 		a.Write([]byte("only twenty bytes...")) // deliver 20
 		a.Close()
 	}()
-	if _, err := readRound(b); err == nil {
+	if _, err := framingMesh().readRound(bufio.NewReader(b), 1); err == nil {
 		t.Fatal("truncated payload accepted")
 	}
 }
@@ -54,10 +68,10 @@ func TestReadRoundTruncatedPayload(t *testing.T) {
 func TestReadRoundMissingTerminator(t *testing.T) {
 	a, b := pipePair(t)
 	go func() {
-		writeFrame(a, []byte("complete frame, no terminator"))
+		writeFrame(a, 1, []byte("complete frame, no terminator"))
 		a.Close()
 	}()
-	if _, err := readRound(b); err == nil {
+	if _, err := framingMesh().readRound(bufio.NewReader(b), 1); err == nil {
 		t.Fatal("round without terminator accepted")
 	}
 }
@@ -65,11 +79,11 @@ func TestReadRoundMissingTerminator(t *testing.T) {
 func TestReadRoundTwoFramesOneRound(t *testing.T) {
 	a, b := pipePair(t)
 	go func() {
-		writeFrame(a, []byte("first"))
-		writeFrame(a, []byte("second"))
-		writeTerminator(a)
+		writeFrame(a, 1, []byte("first"))
+		writeFrame(a, 1, []byte("second"))
+		writeTerminator(a, 1)
 	}()
-	_, err := readRound(b)
+	_, err := framingMesh().readRound(bufio.NewReader(b), 1)
 	if err == nil || !strings.Contains(err.Error(), "two frames") {
 		t.Fatalf("second frame in a round: err = %v", err)
 	}
@@ -78,10 +92,10 @@ func TestReadRoundTwoFramesOneRound(t *testing.T) {
 func TestReadRoundZeroLengthFrame(t *testing.T) {
 	a, b := pipePair(t)
 	go func() {
-		writeFrame(a, []byte{})
-		writeTerminator(a)
+		writeFrame(a, 1, []byte{})
+		writeTerminator(a, 1)
 	}()
-	frame, err := readRound(b)
+	frame, err := framingMesh().readRound(bufio.NewReader(b), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,6 +103,259 @@ func TestReadRoundZeroLengthFrame(t *testing.T) {
 	// of "nothing sent this round".
 	if frame == nil || len(frame) != 0 {
 		t.Fatalf("zero-length frame read back as %v", frame)
+	}
+}
+
+func TestReadRoundDrainsStaleRecords(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		// Leftovers of aborted rounds 1 and 2, then the live round 3.
+		writeFrame(a, 1, []byte("stale one"))
+		writeTerminator(a, 1)
+		writeFrame(a, 2, []byte("stale two"))
+		writeFrame(a, 3, []byte("fresh"))
+		writeTerminator(a, 3)
+	}()
+	frame, err := framingMesh().readRound(bufio.NewReader(b), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame) != "fresh" {
+		t.Fatalf("round 3 read %q, want the fresh frame", frame)
+	}
+}
+
+func TestReadRoundRejectsFutureSeq(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		writeFrame(a, 9, []byte("from the future"))
+		writeTerminator(a, 9)
+	}()
+	_, err := framingMesh().readRound(bufio.NewReader(b), 3)
+	if err == nil || !strings.Contains(err.Error(), "future round") {
+		t.Fatalf("future-round frame: err = %v", err)
+	}
+}
+
+func TestReadRoundResyncsPastGarbage(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		a.Write([]byte("line noise that is definitely not a record header"))
+		writeFrame(a, 1, []byte("recovered"))
+		writeTerminator(a, 1)
+	}()
+	frame, err := framingMesh().readRound(bufio.NewReader(b), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame) != "recovered" {
+		t.Fatalf("resync read %q", frame)
+	}
+}
+
+// TestReadRoundHugeLengthHeaderDoesNotAllocate feeds a header whose length
+// field demands ~4 GiB. The reader must treat it as corruption and
+// resynchronise, not allocate.
+func TestReadRoundHugeLengthHeaderDoesNotAllocate(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		var hdr [recordHdrLen]byte
+		putRecordHeader(hdr[:], 1, 0xFFFFFFF0) // not the terminator marker
+		binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(hdr[:12]))
+		a.Write(hdr[:])
+		writeFrame(a, 1, []byte("after the bomb"))
+		writeTerminator(a, 1)
+	}()
+	frame, err := framingMesh().readRound(bufio.NewReader(b), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame) != "after the bomb" {
+		t.Fatalf("read %q", frame)
+	}
+}
+
+func TestReadRoundCRCMismatch(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		payload := []byte("checksummed")
+		var hdr [recordHdrLen]byte
+		putRecordHeader(hdr[:], 1, uint32(len(payload)))
+		crc := crc32.Update(0, crc32.IEEETable, hdr[:12])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		binary.LittleEndian.PutUint32(hdr[12:16], crc^0xDEAD) // poison the CRC
+		a.Write(hdr[:])
+		a.Write(payload)
+		writeTerminator(a, 1)
+	}()
+	_, err := framingMesh().readRound(bufio.NewReader(b), 1)
+	if err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Fatalf("corrupt payload: err = %v", err)
+	}
+}
+
+// flakyConn wraps a mesh connection and fails a set number of writes, leaving
+// a partial header on the wire when asked — the shape of a torn transfer.
+type flakyConn struct {
+	net.Conn
+	mu         sync.Mutex
+	failWrites int
+	partial    bool
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	fail := c.failWrites > 0
+	if fail {
+		c.failWrites--
+	}
+	partial := c.partial
+	c.mu.Unlock()
+	if fail {
+		if partial && len(p) > 1 {
+			n, _ := c.Conn.Write(p[:len(p)/2])
+			return n, errors.New("injected write failure (torn)")
+		}
+		return 0, errors.New("injected write failure")
+	}
+	return c.Conn.Write(p)
+}
+
+// fastMesh builds a mesh with short timeouts so failure paths resolve in
+// test time, not operational time.
+func fastMesh(t *testing.T, n int, cfg Config) *TCPLoopback {
+	t.Helper()
+	mesh, err := NewTCPLoopbackWith(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mesh.Close() })
+	return mesh
+}
+
+func meshFrames(n int, fill func(src, dst int) []byte) [][][]byte {
+	frames := make([][][]byte, n)
+	for src := range frames {
+		frames[src] = make([][]byte, n)
+		for dst := range frames[src] {
+			if src != dst {
+				frames[src][dst] = fill(src, dst)
+			}
+		}
+	}
+	return frames
+}
+
+// TestRoundTripRetriesTornWrite tears one connection's first write mid-header
+// and expects the round to succeed on retry, with the retry counted and the
+// receiver resynchronised past the torn bytes.
+func TestRoundTripRetriesTornWrite(t *testing.T) {
+	mesh := fastMesh(t, 3, Config{RoundTimeout: 2 * time.Second, RetryBackoff: time.Millisecond})
+	reg := obs.NewRegistry()
+	mesh.SetObs(reg)
+	mesh.conns[0][1] = &flakyConn{Conn: mesh.conns[0][1], failWrites: 1, partial: true}
+	frames := meshFrames(3, func(src, dst int) []byte {
+		return []byte{byte(src), byte(dst), 0xAB}
+	})
+	in, err := mesh.RoundTrip(frames)
+	if err != nil {
+		t.Fatalf("retry did not recover the round: %v", err)
+	}
+	for dst := 0; dst < 3; dst++ {
+		for src := 0; src < 3; src++ {
+			if src == dst {
+				continue
+			}
+			if !bytes.Equal(in[dst][src], []byte{byte(src), byte(dst), 0xAB}) {
+				t.Fatalf("frame %d->%d = %v", src, dst, in[dst][src])
+			}
+		}
+	}
+	if got := mesh.retries.Value(); got < 1 {
+		t.Fatalf("retries counter = %v, want >= 1", got)
+	}
+}
+
+// TestRoundTripFailsWithinDeadlineNoHang removes the retry budget and breaks
+// one sender permanently: the round must error out within the round deadline
+// — the regression test for the missing-terminator deadlock, where receivers
+// blocked forever on a peer that bailed out.
+func TestRoundTripFailsWithinDeadlineNoHang(t *testing.T) {
+	mesh := fastMesh(t, 3, Config{RoundTimeout: 500 * time.Millisecond, MaxAttempts: 1})
+	mesh.conns[0][1] = &flakyConn{Conn: mesh.conns[0][1], failWrites: 1 << 30}
+	frames := meshFrames(3, func(src, dst int) []byte { return []byte("payload") })
+	done := make(chan error, 1)
+	go func() {
+		_, err := mesh.RoundTrip(frames)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("round with a dead sender succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("partially failed round hung instead of erroring")
+	}
+}
+
+// gateConn passes writes through until armed: arm(n) allows the next n
+// writes and fails every later one; arm(-1) restores pass-through.
+type gateConn struct {
+	net.Conn
+	mu   sync.Mutex
+	gate int // -1 = pass everything, n >= 0 = allow n more writes then fail
+}
+
+func (c *gateConn) arm(n int) {
+	c.mu.Lock()
+	c.gate = n
+	c.mu.Unlock()
+}
+
+func (c *gateConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	g := c.gate
+	if g > 0 {
+		c.gate--
+	}
+	c.mu.Unlock()
+	if g == 0 {
+		return 0, errors.New("injected write failure")
+	}
+	return c.Conn.Write(p)
+}
+
+// TestRoundAfterFailureDeliversFreshData fails one round completely — the
+// frame goes out whole but its terminator does not, leaving a complete stale
+// frame parked in the receiver's buffer — then runs a healthy round and
+// checks every delivered frame is the new round's, never the leftovers.
+func TestRoundAfterFailureDeliversFreshData(t *testing.T) {
+	mesh := fastMesh(t, 3, Config{RoundTimeout: 400 * time.Millisecond, MaxAttempts: 1})
+	g := &gateConn{Conn: mesh.conns[0][1], gate: -1}
+	mesh.conns[0][1] = g
+	// writeFrame is two writes (header, payload); the terminator is the
+	// third. Allow exactly two, so the stale frame lands intact.
+	g.arm(2)
+	staleRound := meshFrames(3, func(src, dst int) []byte { return []byte("stale") })
+	if _, err := mesh.RoundTrip(staleRound); err == nil {
+		t.Fatal("expected the sabotaged round to fail")
+	}
+	g.arm(-1)
+	freshRound := meshFrames(3, func(src, dst int) []byte { return []byte("fresh") })
+	in, err := mesh.RoundTrip(freshRound)
+	if err != nil {
+		t.Fatalf("post-failure round did not recover: %v", err)
+	}
+	for dst := 0; dst < 3; dst++ {
+		for src := 0; src < 3; src++ {
+			if src == dst {
+				continue
+			}
+			if string(in[dst][src]) != "fresh" {
+				t.Fatalf("frame %d->%d = %q: stale data survived the failed round", src, dst, in[dst][src])
+			}
+		}
 	}
 }
 
@@ -122,12 +389,115 @@ func TestDoubleCloseReturnsSameResult(t *testing.T) {
 	}
 }
 
+// errCloseConn reports a fixed error from Close.
+type errCloseConn struct {
+	net.Conn
+	err error
+}
+
+func (c *errCloseConn) Close() error {
+	c.Conn.Close()
+	return c.err
+}
+
+// TestCloseSurfacesInboxErrors plants a failing Close on an accept-side
+// (inbox) connection: the mesh's Close must report it, not just dial-side
+// errors.
+func TestCloseSurfacesInboxErrors(t *testing.T) {
+	mesh, err := NewTCPLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("inbox close failed")
+	mesh.inbox[0][1] = &errCloseConn{Conn: mesh.inbox[0][1], err: boom}
+	if got := mesh.Close(); !errors.Is(got, boom) {
+		t.Fatalf("Close = %v, want the inbox-side error", got)
+	}
+}
+
+// TestSetupToleratesRogueDialer connects a rogue that aborts mid-hello; the
+// accept side must discard it and still complete the handshake with the
+// legitimate dialer.
+func TestSetupToleratesRogueDialer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tr := &TCPLoopback{n: 2, cfg: Config{SetupTimeout: 5 * time.Second}.Normalize()}
+	tr.inbox = [][]net.Conn{make([]net.Conn, 2), make([]net.Conn, 2)}
+	tr.readers = [][]*bufio.Reader{make([]*bufio.Reader, 2), make([]*bufio.Reader, 2)}
+
+	go func() {
+		// Rogue: half a hello, then gone.
+		if c, err := net.Dial("tcp", l.Addr().String()); err == nil {
+			c.Write([]byte{1})
+			c.Close()
+		}
+		// Legitimate dialer: rank 1's full hello.
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], 1)
+		c.Write(hello[:])
+		// Keep the conn open; the test closes it via tr fields below.
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- tr.acceptPeers(0, l, time.Now().Add(5*time.Second)) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("acceptPeers failed despite a valid dialer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("acceptPeers hung on a rogue dialer")
+	}
+	if tr.inbox[0][1] == nil {
+		t.Fatal("legitimate hello not registered")
+	}
+	tr.inbox[0][1].Close()
+}
+
+// TestSetupStalledHelloTimesOut connects a dialer that never sends its hello:
+// setup must abort within the setup deadline instead of hanging forever —
+// the regression test for the unbounded accept-side hello read.
+func TestSetupStalledHelloTimesOut(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tr := &TCPLoopback{n: 2, cfg: Config{SetupTimeout: 300 * time.Millisecond}.Normalize()}
+	tr.inbox = [][]net.Conn{make([]net.Conn, 2), make([]net.Conn, 2)}
+	tr.readers = [][]*bufio.Reader{make([]*bufio.Reader, 2), make([]*bufio.Reader, 2)}
+
+	staller, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer staller.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- tr.acceptPeers(0, l, time.Now().Add(300*time.Millisecond)) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("acceptPeers succeeded without any hello")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("acceptPeers hung on a stalled hello")
+	}
+}
+
 // TestCloseRacesInFlightRoundTrip closes the mesh while RoundTrips are in
 // flight from another goroutine. The contract under test is narrow: no
 // panic, no deadlock — each RoundTrip either completes or returns an error.
 func TestCloseRacesInFlightRoundTrip(t *testing.T) {
 	const n = 4
-	mesh, err := NewTCPLoopback(n)
+	mesh, err := NewTCPLoopbackWith(n, Config{RoundTimeout: 5 * time.Second, RetryBackoff: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +527,7 @@ func TestCloseRacesInFlightRoundTrip(t *testing.T) {
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(10 * time.Second):
+	case <-time.After(30 * time.Second):
 		t.Fatal("RoundTrip deadlocked against Close")
 	}
 }

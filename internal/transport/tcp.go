@@ -4,46 +4,114 @@
 // listener on 127.0.0.1 and a full mesh of connections carries the framed
 // boundary-DV messages through the kernel's network stack, so serialisation
 // and wire sizes are real rather than estimated.
+//
+// The mesh is fault-tolerant rather than fail-stop: every round runs under
+// an I/O deadline, every record on the wire carries the round's sequence
+// number and a CRC, and a failed round is retried with backoff. Leftover
+// bytes from an aborted round are drained by sequence number (never returned
+// as this round's data), and a corrupted stream resynchronises by scanning
+// for the next record boundary. A round that cannot be completed within its
+// attempts surfaces as an error — callers degrade, the process never hangs.
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"aacc/internal/obs"
 )
 
+// Config tunes the mesh's fault-tolerance envelope. The zero value selects
+// the defaults below; Normalize resolves them.
+type Config struct {
+	// RoundTimeout is the per-attempt I/O deadline: every send and receive
+	// of one round attempt must complete within it. Default 30s.
+	RoundTimeout time.Duration
+	// SetupTimeout bounds mesh establishment (listen, dial, hello
+	// handshakes). A dialer that stalls mid-hello is dropped when it
+	// expires instead of wedging setup forever. Default 10s.
+	SetupTimeout time.Duration
+	// MaxAttempts is how many times a round is attempted before its error
+	// is returned (1 = no retry). Default 3.
+	MaxAttempts int
+	// RetryBackoff is slept before the first retry and doubles on each
+	// further one. Default 5ms.
+	RetryBackoff time.Duration
+	// MaxFrame caps a single frame's size. A length header beyond it is
+	// treated as stream corruption (the reader resynchronises) rather than
+	// an allocation request — a corrupt 4-byte header can no longer demand
+	// gigabytes. Default 256 MiB.
+	MaxFrame int
+}
+
+// Normalize fills unset fields with the defaults.
+func (c Config) Normalize() Config {
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 30 * time.Second
+	}
+	if c.SetupTimeout <= 0 {
+		c.SetupTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 256 << 20
+	}
+	return c
+}
+
 // TCPLoopback is a full mesh of loopback TCP connections between n
 // simulated processors. It implements Transport.
 type TCPLoopback struct {
-	n int
+	n   int
+	cfg Config
 	// conns[src][dst] is the directed connection src uses to reach dst.
 	conns [][]net.Conn
 	// inbox[dst][src] holds the connection dst reads frames from src on
-	// (the accept-side ends of conns[src][dst]).
-	inbox [][]net.Conn
+	// (the accept-side ends of conns[src][dst]); readers[dst][src] is the
+	// buffered reader the framing layer scans on (it must survive rounds,
+	// since drained/partial bytes may sit in its buffer).
+	inbox   [][]net.Conn
+	readers [][]*bufio.Reader
+
+	// seq is the current round-attempt sequence number. It is stamped into
+	// every record so receivers can tell this attempt's frames from the
+	// leftovers of an aborted one. Only RoundTrip (one caller at a time,
+	// per the Transport contract) touches it.
+	seq uint32
 
 	closeOnce sync.Once
 	closeErr  error
 
-	// Wire-level metrics, nil unless SetObs was called. peerFail[i] counts
-	// send/receive failures on connections whose remote end is processor i,
-	// so a flaky peer shows up under its own label.
+	// Wire-level metrics, nil unless SetObs was called (the instruments are
+	// nil-safe). peerFail[i] counts send/receive failures on connections
+	// whose remote end is processor i, so a flaky peer shows up under its
+	// own label.
 	rounds     *obs.Counter
 	roundFails *obs.Counter
+	retries    *obs.Counter
 	peerFail   []*obs.Counter
 }
 
 // SetObs registers the mesh's wire metrics against reg: round counts, round
-// failures, and per-peer send/receive failure counters. Call once at setup;
-// the wire runtime propagates the engine's registry here.
+// failures, retries, and per-peer send/receive failure counters. Call once
+// at setup; the wire runtime propagates the engine's registry here.
 func (t *TCPLoopback) SetObs(reg *obs.Registry) {
 	t.rounds = reg.Counter("aacc_transport_wire_rounds_total", "All-to-all rounds carried over the TCP loopback mesh.")
-	t.roundFails = reg.Counter("aacc_transport_wire_round_failures_total", "Rounds that failed with a transport error.")
+	t.roundFails = reg.Counter("aacc_transport_wire_round_failures_total", "Rounds that failed with a transport error after exhausting their retry budget.")
+	t.retries = reg.Counter("aacc_transport_retries_total", "Round attempts retried after a transient transport error.")
 	t.peerFail = make([]*obs.Counter, t.n)
 	for i := 0; i < t.n; i++ {
 		t.peerFail[i] = reg.Counter("aacc_transport_peer_failures_total",
@@ -59,82 +127,98 @@ func (t *TCPLoopback) notePeerFailure(peer int) {
 	}
 }
 
-// NewTCPLoopback establishes the n×(n−1) directed connection mesh. It binds
-// n ephemeral listeners on 127.0.0.1; each processor dials every other and
-// identifies itself with a one-time hello frame carrying its rank.
+// NewTCPLoopback establishes the n×(n−1) directed connection mesh with the
+// default Config.
 func NewTCPLoopback(n int) (*TCPLoopback, error) {
+	return NewTCPLoopbackWith(n, Config{})
+}
+
+// NewTCPLoopbackWith establishes the mesh under cfg. It binds n ephemeral
+// listeners on 127.0.0.1; each processor dials every other and identifies
+// itself with a one-time hello frame carrying its rank. All setup I/O runs
+// under cfg.SetupTimeout: a connection that stalls mid-hello (or a stray
+// dialer that never completes one) is dropped, not waited on forever.
+func NewTCPLoopbackWith(n int, cfg Config) (*TCPLoopback, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: need at least 1 processor, got %d", n)
 	}
-	t := &TCPLoopback{n: n}
+	t := &TCPLoopback{n: n, cfg: cfg.Normalize()}
 	t.conns = make([][]net.Conn, n)
 	t.inbox = make([][]net.Conn, n)
+	t.readers = make([][]*bufio.Reader, n)
 	for i := range t.conns {
 		t.conns[i] = make([]net.Conn, n)
 		t.inbox[i] = make([]net.Conn, n)
+		t.readers[i] = make([]*bufio.Reader, n)
 	}
 	listeners := make([]net.Listener, n)
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Close()
+			closeAll(listeners)
 			return nil, fmt.Errorf("transport: listen for processor %d: %w", i, err)
 		}
 		listeners[i] = l
 	}
-	defer func() {
-		for _, l := range listeners {
+	if err := t.establish(listeners); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func closeAll(listeners []net.Listener) {
+	for _, l := range listeners {
+		if l != nil {
 			l.Close()
 		}
-	}()
+	}
+}
+
+// establish runs the dial/accept handshake over the given listeners, filling
+// t.conns and t.inbox. It closes the listeners before returning.
+func (t *TCPLoopback) establish(listeners []net.Listener) error {
+	defer closeAll(listeners)
+	deadline := time.Now().Add(t.cfg.SetupTimeout)
 	var wg sync.WaitGroup
-	errs := make(chan error, 2*n)
-	// Accept side: processor dst accepts n-1 dials, each prefixed with the
-	// dialer's rank.
-	for dst := 0; dst < n; dst++ {
+	errs := make(chan error, 2*t.n)
+	// Accept side: processor dst collects n-1 hellos, each prefixed with
+	// the dialer's rank. Connections that fail the hello within the setup
+	// deadline (stalled, truncated, bad rank, duplicate) are closed and the
+	// slot re-accepted, so one broken dialer cannot wedge the handshake.
+	for dst := 0; dst < t.n; dst++ {
 		wg.Add(1)
 		go func(dst int) {
 			defer wg.Done()
-			for k := 0; k < n-1; k++ {
-				conn, err := listeners[dst].Accept()
-				if err != nil {
-					errs <- fmt.Errorf("transport: accept on %d: %w", dst, err)
-					return
-				}
-				var hello [4]byte
-				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					errs <- fmt.Errorf("transport: hello on %d: %w", dst, err)
-					return
-				}
-				src := int(binary.LittleEndian.Uint32(hello[:]))
-				if src < 0 || src >= n || src == dst {
-					errs <- fmt.Errorf("transport: bad hello rank %d on %d", src, dst)
-					return
-				}
-				t.inbox[dst][src] = conn
+			if err := t.acceptPeers(dst, listeners[dst], deadline); err != nil {
+				errs <- err
 			}
 		}(dst)
 	}
 	// Dial side.
-	for src := 0; src < n; src++ {
+	for src := 0; src < t.n; src++ {
 		wg.Add(1)
 		go func(src int) {
 			defer wg.Done()
-			for dst := 0; dst < n; dst++ {
+			for dst := 0; dst < t.n; dst++ {
 				if dst == src {
 					continue
 				}
-				conn, err := net.Dial("tcp", listeners[dst].Addr().String())
+				conn, err := net.DialTimeout("tcp", listeners[dst].Addr().String(), time.Until(deadline))
 				if err != nil {
 					errs <- fmt.Errorf("transport: dial %d->%d: %w", src, dst, err)
 					return
 				}
 				var hello [4]byte
 				binary.LittleEndian.PutUint32(hello[:], uint32(src))
+				conn.SetWriteDeadline(deadline)
 				if _, err := conn.Write(hello[:]); err != nil {
+					conn.Close()
 					errs <- fmt.Errorf("transport: hello %d->%d: %w", src, dst, err)
 					return
 				}
+				conn.SetWriteDeadline(time.Time{})
 				t.conns[src][dst] = conn
 			}
 		}(src)
@@ -142,31 +226,238 @@ func NewTCPLoopback(n int) (*TCPLoopback, error) {
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		t.Close()
-		return nil, err
+		return err
 	}
-	return t, nil
+	return nil
 }
 
-// RoundTrip implements Transport: writes every frame on its
-// directed connection and reads every frame back on the receiving side.
-// Senders run concurrently (kernel socket buffers decouple them); each
-// receiver drains its incoming connections in source order, so the result
-// is deterministic.
+// acceptPeers collects the n-1 hello handshakes destined for dst, tolerating
+// connections that never complete one. Every read runs under the setup
+// deadline.
+func (t *TCPLoopback) acceptPeers(dst int, l net.Listener, deadline time.Time) error {
+	if tl, ok := l.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	need := t.n - 1
+	for need > 0 {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accept on %d: %w", dst, err)
+		}
+		conn.SetReadDeadline(deadline)
+		var hello [4]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			// A stalled or truncated hello: drop the connection and keep
+			// accepting — unless the setup deadline itself expired.
+			conn.Close()
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return fmt.Errorf("transport: hello on %d: %w", dst, err)
+			}
+			continue
+		}
+		src := int(binary.LittleEndian.Uint32(hello[:]))
+		if src < 0 || src >= t.n || src == dst || t.inbox[dst][src] != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		t.inbox[dst][src] = conn
+		t.readers[dst][src] = bufio.NewReader(conn)
+		need--
+	}
+	return nil
+}
+
+// Record framing. Every record on a connection is
+//
+//	u32 magic   0xAACCF4A3 — the resynchronisation anchor
+//	u32 seq     round-attempt sequence number
+//	u32 size    payload length; 0xFFFFFFFF marks the round terminator
+//	u32 crc     CRC-32 (IEEE) of the 12 header bytes above ++ payload
+//	size bytes of payload (terminators carry none)
+//
+// The magic lets a reader that lost framing (truncated write, corrupted
+// header) scan forward to the next plausible record; the seq lets it discard
+// leftovers of an aborted round; the CRC catches corrupted payloads and
+// headers whose magic survived.
+const (
+	recordMagic  = 0xAACCF4A3
+	recordHdrLen = 16
+	terminator   = ^uint32(0)
+	// maxResyncSkip bounds how far a reader scans for a record boundary
+	// before declaring the stream unrecoverable.
+	maxResyncSkip = 1 << 20
+)
+
+func putRecordHeader(hdr []byte, seq, size uint32) {
+	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], seq)
+	binary.LittleEndian.PutUint32(hdr[8:12], size)
+}
+
+func writeFrame(conn net.Conn, seq uint32, frame []byte) error {
+	var hdr [recordHdrLen]byte
+	putRecordHeader(hdr[:], seq, uint32(len(frame)))
+	crc := crc32.Update(0, crc32.IEEETable, hdr[:12])
+	crc = crc32.Update(crc, crc32.IEEETable, frame)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+func writeTerminator(conn net.Conn, seq uint32) error {
+	var hdr [recordHdrLen]byte
+	putRecordHeader(hdr[:], seq, terminator)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(hdr[:12]))
+	_, err := conn.Write(hdr[:])
+	return err
+}
+
+// readRound reads one round's records from br: at most one frame followed by
+// the round terminator, all stamped with sequence number want. Records from
+// earlier rounds (leftovers of an aborted attempt) are drained silently;
+// corrupted headers trigger a bounded scan for the next record boundary. It
+// returns the frame (nil if the round carried nothing).
+func (t *TCPLoopback) readRound(br *bufio.Reader, want uint32) ([]byte, error) {
+	var frame []byte
+	seen := false
+	skipped := 0
+	resync := func(n int) error {
+		skipped += n
+		if skipped > maxResyncSkip {
+			return fmt.Errorf("framing lost: no record boundary within %d bytes", maxResyncSkip)
+		}
+		_, err := br.Discard(n)
+		return err
+	}
+	for {
+		hdr, err := br.Peek(recordHdrLen)
+		if err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+			if err := resync(1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		seq := binary.LittleEndian.Uint32(hdr[4:8])
+		size := binary.LittleEndian.Uint32(hdr[8:12])
+		crc := binary.LittleEndian.Uint32(hdr[12:16])
+		if size == terminator {
+			if crc32.ChecksumIEEE(hdr[:12]) != crc {
+				// A record that looks like a terminator but fails its
+				// header CRC: corruption that preserved the magic.
+				if err := resync(1); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			br.Discard(recordHdrLen)
+			if seq == want {
+				return frame, nil
+			}
+			if seqAfter(seq, want) {
+				return nil, fmt.Errorf("terminator from future round %d while reading round %d", seq, want)
+			}
+			continue // stale terminator: drain and keep reading
+		}
+		if int64(size) > int64(t.cfg.MaxFrame) {
+			// A corrupt length header is a resync condition, not an
+			// allocation request.
+			if err := resync(1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		hdrCRC := crc32.Update(0, crc32.IEEETable, hdr[:12])
+		br.Discard(recordHdrLen)
+		if seq != want {
+			if seqAfter(seq, want) {
+				return nil, fmt.Errorf("frame from future round %d while reading round %d", seq, want)
+			}
+			// Stale frame from an aborted round: drain its payload.
+			if _, err := br.Discard(int(size)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, err
+		}
+		if crc32.Update(hdrCRC, crc32.IEEETable, payload) != crc {
+			return nil, fmt.Errorf("frame crc mismatch in round %d", want)
+		}
+		if seen {
+			return nil, errors.New("two frames in one round")
+		}
+		seen = true
+		frame = payload
+	}
+}
+
+// seqAfter reports whether a is a later sequence number than b, tolerating
+// wraparound.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// RoundTrip implements Transport: writes every frame on its directed
+// connection and reads every frame back on the receiving side. Senders run
+// concurrently (kernel socket buffers decouple them); each receiver drains
+// its incoming connections in source order, so the result is deterministic.
+//
+// Every attempt runs under cfg.RoundTimeout and is stamped with a fresh
+// sequence number; on failure the round is retried (up to cfg.MaxAttempts
+// total, with doubling backoff), and receivers discard whatever the aborted
+// attempt left behind. Only after the retry budget is exhausted does the
+// error surface to the caller.
 func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 	if len(frames) != t.n {
 		return nil, fmt.Errorf("transport: round trip needs %d rows, got %d", t.n, len(frames))
 	}
 	t.rounds.Inc()
+	var lastErr error
+	backoff := t.cfg.RetryBackoff
+	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t.retries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		t.seq++
+		in, err := t.attempt(t.seq, frames)
+		if err == nil {
+			return in, nil
+		}
+		lastErr = err
+		if errors.Is(err, net.ErrClosed) {
+			break // the mesh is gone; retrying cannot help
+		}
+	}
+	t.roundFails.Inc()
+	return nil, lastErr
+}
+
+// attempt runs one deadline-bounded attempt of the all-to-all round. On any
+// error the other senders still terminate their streams and the other
+// receivers still drain theirs, so no goroutine is left blocking on a peer
+// that bailed out — the wg.Wait always returns within the round deadline.
+func (t *TCPLoopback) attempt(seq uint32, frames [][][]byte) ([][][]byte, error) {
+	deadline := time.Now().Add(t.cfg.RoundTimeout)
 	in := make([][][]byte, t.n)
 	for dst := range in {
 		in[dst] = make([][]byte, t.n)
 	}
 	var wg sync.WaitGroup
-	errs := make(chan error, 2*t.n)
-	// Senders: each source writes its outgoing frames, then a per-round
-	// terminator (length 0xFFFFFFFF) on every connection so receivers know
-	// the round is over even when nothing was sent.
+	errs := make(chan error, 2*t.n*t.n)
+	// Senders: each source writes its outgoing frame (if any), then a
+	// per-round terminator on every connection so receivers know the round
+	// is over even when nothing was sent. A failed send no longer aborts
+	// the remaining connections: their terminators still go out, so the
+	// corresponding receivers finish the round instead of blocking forever.
 	for src := 0; src < t.n; src++ {
 		wg.Add(1)
 		go func(src int) {
@@ -176,26 +467,28 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 					continue
 				}
 				conn := t.conns[src][dst]
+				conn.SetWriteDeadline(deadline)
 				var frame []byte
 				if frames[src] != nil && dst < len(frames[src]) {
 					frame = frames[src][dst]
 				}
+				err := error(nil)
 				if frame != nil {
-					if err := writeFrame(conn, frame); err != nil {
-						t.notePeerFailure(dst)
-						errs <- fmt.Errorf("transport: send %d->%d: %w", src, dst, err)
-						return
-					}
+					err = writeFrame(conn, seq, frame)
 				}
-				if err := writeTerminator(conn); err != nil {
+				if err == nil {
+					err = writeTerminator(conn, seq)
+				}
+				if err != nil {
 					t.notePeerFailure(dst)
-					errs <- fmt.Errorf("transport: terminate %d->%d: %w", src, dst, err)
-					return
+					errs <- fmt.Errorf("transport: send %d->%d (round %d): %w", src, dst, seq, err)
 				}
 			}
 		}(src)
 	}
-	// Receivers: drain each incoming connection until its terminator.
+	// Receivers: drain each incoming connection until this round's
+	// terminator. A failed read moves on to the next source — its leftover
+	// bytes are drained by sequence number on the next attempt.
 	for dst := 0; dst < t.n; dst++ {
 		wg.Add(1)
 		go func(dst int) {
@@ -204,11 +497,12 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 				if src == dst {
 					continue
 				}
-				frame, err := readRound(t.inbox[dst][src])
+				t.inbox[dst][src].SetReadDeadline(deadline)
+				frame, err := t.readRound(t.readers[dst][src], seq)
 				if err != nil {
 					t.notePeerFailure(src)
-					errs <- fmt.Errorf("transport: recv %d->%d: %w", src, dst, err)
-					return
+					errs <- fmt.Errorf("transport: recv %d->%d (round %d): %w", src, dst, seq, err)
+					continue
 				}
 				in[dst][src] = frame
 			}
@@ -217,73 +511,28 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		t.roundFails.Inc()
 		return nil, err
 	}
 	return in, nil
 }
 
-const terminator = ^uint32(0)
-
-func writeFrame(conn net.Conn, frame []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(frame)
-	return err
-}
-
-func writeTerminator(conn net.Conn) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], terminator)
-	_, err := conn.Write(hdr[:])
-	return err
-}
-
-// readRound reads at most one frame followed by the round terminator,
-// returning the frame (nil if the round carried nothing).
-func readRound(conn net.Conn) ([]byte, error) {
-	var frame []byte
-	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return nil, err
-		}
-		size := binary.LittleEndian.Uint32(hdr[:])
-		if size == terminator {
-			return frame, nil
-		}
-		if frame != nil {
-			return nil, fmt.Errorf("two frames in one round")
-		}
-		frame = make([]byte, size)
-		if _, err := io.ReadFull(conn, frame); err != nil {
-			return nil, err
-		}
-	}
-}
-
-// Close tears the mesh down.
+// Close tears the mesh down. Errors from both connection directions are
+// surfaced (first one wins), not just the dial side's.
 func (t *TCPLoopback) Close() error {
 	t.closeOnce.Do(func() {
-		for _, row := range t.conns {
-			for _, c := range row {
-				if c != nil {
-					if err := c.Close(); err != nil && t.closeErr == nil {
-						t.closeErr = err
+		closeRows := func(rows [][]net.Conn) {
+			for _, row := range rows {
+				for _, c := range row {
+					if c != nil {
+						if err := c.Close(); err != nil && t.closeErr == nil {
+							t.closeErr = err
+						}
 					}
 				}
 			}
 		}
-		for _, row := range t.inbox {
-			for _, c := range row {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}
+		closeRows(t.conns)
+		closeRows(t.inbox)
 	})
 	return t.closeErr
 }
