@@ -10,6 +10,14 @@
 //	aacc -gen community -n 2000 -anytime
 //	aacc -changes stream.log -eager-deletions
 //	aacc -runtime tcp     # exchanges over a real TCP loopback mesh
+//
+// The same binary also deploys as one coordinator plus N worker processes
+// exchanging over real sockets (every process needs the same graph and
+// analysis flags):
+//
+//	aacc -role coordinator -listen 127.0.0.1:4700 -workers 2 -n 4000 -p 16
+//	aacc -role worker -coordinator 127.0.0.1:4700 -n 4000 -p 16
+//	aacc -role worker -coordinator 127.0.0.1:4700 -n 4000 -p 16
 package main
 
 import (

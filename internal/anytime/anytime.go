@@ -42,6 +42,33 @@ import (
 // session's context was cancelled).
 var ErrClosed = errors.New("anytime: session closed")
 
+// Engine is the analysis surface a Session orchestrates: stepping,
+// queries and the dynamic-mutation set. *core.Engine implements it (the
+// single-process deployment); a multi-process coordinator implements the
+// same surface by driving remote workers, so the session layer — snapshots,
+// serialized mutations, degraded-mode recovery — is identical in both
+// shapes. Engines whose deployment cannot support an operation (vertex
+// mutations on a coordinator, say) return a descriptive error from it.
+type Engine interface {
+	Step() (core.StepReport, error)
+	Converged() bool
+	StepCount() int
+	Graph() graph.View
+	Stats() cluster.Stats
+	Distances() map[graph.ID][]int32
+	Close() error
+
+	ApplyEdgeAdditions(edges []graph.EdgeTriple) error
+	ApplyEdgeDeletions(pairs [][2]graph.ID) error
+	ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error
+	SetEdgeWeight(u, v graph.ID, w int32) error
+	ApplyVertexAdditions(batch *core.VertexBatch, ps core.ProcessorAssigner) ([]graph.ID, error)
+	RemoveVertices(ids []graph.ID) error
+	Repartition(batch *core.VertexBatch) (*core.RepartitionResult, error)
+}
+
+var _ Engine = (*core.Engine)(nil)
+
 // Options configures a Session.
 type Options struct {
 	// Engine configures the wrapped engine (P, partitioner, model, ...).
@@ -70,6 +97,13 @@ type Options struct {
 	// The initial snapshot (epoch 1: the IA phase's local results) is
 	// published either way.
 	StartPaused bool
+
+	// StepInterval throttles stepping: after each successful RC step the
+	// loop idles this long (serving queries, mutations and the deadline
+	// throughout) before the next one. Zero steps flat out. Useful to
+	// rate-limit a live analysis — or to hold a cluster in-flight long
+	// enough to observe mid-run behaviour deterministically.
+	StepInterval time.Duration
 }
 
 // Snapshot is an immutable view of the analysis at one step boundary.
@@ -151,7 +185,7 @@ type command struct {
 
 // Session owns an Engine on a dedicated orchestration goroutine.
 type Session struct {
-	eng     *core.Engine
+	eng     Engine
 	opts    Options
 	tracer  core.Tracer
 	om      *sessionObs // live metrics, nil unless Options.Engine.Obs was set
@@ -193,28 +227,38 @@ const (
 // orchestration goroutine. Cancelling ctx stops the session as Close does
 // (but Close must still be called to release engine resources).
 func New(ctx context.Context, g *graph.Graph, opts Options) (*Session, error) {
-	if opts.PublishEvery < 1 {
-		opts.PublishEvery = 1
-	}
 	eopts := opts.Engine
 	eopts.MaxSteps = 0
 	eng, err := core.New(g, eopts)
 	if err != nil {
 		return nil, err
 	}
+	return NewWith(ctx, eng, opts)
+}
+
+// NewWith wraps an already-built engine — a *core.Engine, or a distributed
+// coordinator driving remote workers — in a session. The session takes
+// ownership of eng (Close closes it). The engine must be freshly
+// constructed: its DD and IA phases done, no RC steps driven elsewhere.
+// Options.Engine is used only for its Tracer and Obs fields; the engine
+// itself was configured by whoever built it.
+func NewWith(ctx context.Context, eng Engine, opts Options) (*Session, error) {
+	if opts.PublishEvery < 1 {
+		opts.PublishEvery = 1
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	s := &Session{
 		eng:     eng,
 		opts:    opts,
-		tracer:  eopts.Tracer,
+		tracer:  opts.Engine.Tracer,
 		cancel:  cancel,
 		cmds:    make(chan *command),
 		done:    make(chan struct{}),
 		paused:  opts.StartPaused,
 		started: time.Now(),
 	}
-	if eopts.Obs != nil {
-		s.om = newSessionObs(eopts.Obs, opts)
+	if opts.Engine.Obs != nil {
+		s.om = newSessionObs(opts.Engine.Obs, opts)
 	}
 	s.baseStep = eng.StepCount()
 	s.publish() // epoch 1: the IA phase's local shortest paths
@@ -489,6 +533,21 @@ func (s *Session) loop(ctx context.Context) {
 		tripped := s.checkBudget()
 		if tripped || recovered || s.eng.Converged() || s.sincePublish >= s.opts.PublishEvery {
 			s.publish()
+		}
+		if s.opts.StepInterval > 0 && !s.exhausted && !s.eng.Converged() {
+			t := time.NewTimer(s.opts.StepInterval)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-deadlineC:
+				deadlineC = nil
+				s.exhaust("deadline")
+			case cmd := <-s.cmds:
+				s.exec(cmd)
+			case <-t.C:
+			}
+			t.Stop()
 		}
 	}
 }

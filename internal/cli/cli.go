@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"os"
+	"os/signal"
 	goruntime "runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"aacc/internal/anytime"
@@ -22,6 +25,7 @@ import (
 	"aacc/internal/changelog"
 	"aacc/internal/cluster"
 	"aacc/internal/core"
+	"aacc/internal/dist"
 	"aacc/internal/experiments"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
@@ -200,6 +204,12 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		logLevel   = fs.String("log-level", "info", "progress log level: debug, info, warn, error")
 		obsAddr    = fs.String("obs-addr", "", "serve mode: listen address for the observability endpoint (/metrics, /healthz, /statusz, /debug/pprof)")
 		linger     = fs.Duration("linger", 0, "serve mode: keep the session (and observability endpoint) up this long after the analysis settles")
+		role       = fs.String("role", "", "multi-process deployment role: coordinator or worker (default: single-process)")
+		listenAddr = fs.String("listen", "", "coordinator: control listen address (required); worker: peer-mesh listen address (default 127.0.0.1:0)")
+		coordAddr  = fs.String("coordinator", "", "worker: the coordinator's control address")
+		workers    = fs.Int("workers", 0, "coordinator: number of worker processes to admit before the analysis starts")
+		roundTO    = fs.Duration("round-timeout", 30*time.Second, "multi-process: exchange round timeout dictated to the worker mesh")
+		stepIv     = fs.Duration("step-interval", 0, "serve mode: idle this long between rc steps (throttles a live analysis)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -213,6 +223,41 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	}
 	if *linger > 0 && !*serve {
 		return fmt.Errorf("-linger requires -serve")
+	}
+	if *stepIv > 0 && !*serve {
+		return fmt.Errorf("-step-interval requires -serve (batch mode steps flat out)")
+	}
+	switch *role {
+	case "", "coordinator", "worker":
+	default:
+		return fmt.Errorf("unknown -role %q (want coordinator or worker)", *role)
+	}
+	if *role == "worker" {
+		if *coordAddr == "" {
+			return fmt.Errorf("-role worker requires -coordinator (the coordinator's control address)")
+		}
+		for flagName, set := range map[string]bool{
+			"-serve": *serve, "-obs-addr": *obsAddr != "", "-changes": *changes != "",
+			"-anytime": *anyFlag, "-wire": *wire,
+		} {
+			if set {
+				return fmt.Errorf("%s is a coordinator/single-process flag; a worker only hosts its partition", flagName)
+			}
+		}
+	}
+	if *role == "coordinator" {
+		if *listenAddr == "" {
+			return fmt.Errorf("-role coordinator requires -listen (the control address workers dial)")
+		}
+		if *workers < 1 {
+			return fmt.Errorf("-role coordinator requires -workers >= 1")
+		}
+		if *changes != "" && !*serve {
+			return fmt.Errorf("-changes on a coordinator requires -serve (batch replay drives a single-process engine)")
+		}
+	}
+	if *role != "" && (*rtName != "sim" || *wire || *faultRate > 0) {
+		return fmt.Errorf("-runtime/-wire/-fault-rate configure the single-process runtime; a multi-process deployment always exchanges over the worker mesh")
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -304,6 +349,10 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		tracer = sinks
 	}
 
+	if *role == "worker" {
+		return workerRole(logger, g, part, *p, *seed, *listenAddr, *coordAddr, *roundTO, tracer)
+	}
+
 	var replayer *changelog.Replayer
 	if *changes != "" {
 		f, err := os.Open(*changes)
@@ -333,6 +382,32 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		}
 		logger.Info("fault injection armed", "rate", rate, "seed", fseed)
 	}
+
+	// Coordinator role: the engine surface is a dist.Coordinator driving
+	// worker processes over real sockets instead of an in-process core.Engine.
+	var coord *dist.Coordinator
+	var dep *deployment
+	if *role == "coordinator" {
+		ln, lerr := net.Listen("tcp", *listenAddr)
+		if lerr != nil {
+			return lerr
+		}
+		logger.Info("waiting for workers", "listen", ln.Addr(), "workers", *workers)
+		coord, err = dist.NewCoordinator(ln, g, dist.Config{
+			Workers:     *workers,
+			P:           *p,
+			Seed:        *seed,
+			Partitioner: part.Name(),
+			Transport:   transport.Config{RoundTimeout: *roundTO},
+			Logger:      logger,
+			Obs:         reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		dep = &deployment{role: "coordinator", workers: coord.Workers}
+	}
 	wall := time.Now()
 	var scores centrality.Scores
 	var sessionStats sessionSummary
@@ -345,7 +420,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		stepRetryBackoff = 5 * time.Millisecond
 		stepRetryMax     = 250 * time.Millisecond
 	)
-	retrySteps := func(logger *slog.Logger, e *core.Engine, f func() error) error {
+	retrySteps := func(logger *slog.Logger, e interface{ StepCount() int }, f func() error) error {
 		backoff := stepRetryBackoff
 		fails := 0
 		for {
@@ -371,11 +446,42 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			PublishEvery: *pubEvery,
 			StepBudget:   *stepBudget,
 			Deadline:     *deadline,
+			StepInterval: *stepIv,
 		}
-		scores, sessionStats, err = serveAnalysis(logger, g, sopts, replayer, reg, *obsAddr, *linger)
+		build := func(ctx context.Context) (*anytime.Session, error) {
+			if coord != nil {
+				return anytime.NewWith(ctx, coord, sopts)
+			}
+			return anytime.New(ctx, g, sopts)
+		}
+		scores, sessionStats, err = serveAnalysis(logger, build, replayer, reg, *obsAddr, *linger, dep)
 		if err != nil {
 			return err
 		}
+	} else if coord != nil {
+		// Batch mode against the cluster: drive steps (with the same
+		// degraded-round retry policy as single-process wire runs) until
+		// every worker reports convergence.
+		maxSteps := 8**p + g.NumIDs() + 16
+		for !coord.Converged() {
+			if coord.StepCount() >= maxSteps {
+				return fmt.Errorf("cluster: no convergence after %d RC steps", coord.StepCount())
+			}
+			var rep core.StepReport
+			if err := retrySteps(logger, coord, func() error {
+				var err error
+				rep, err = coord.Step()
+				return err
+			}); err != nil {
+				return err
+			}
+			if *anyFlag {
+				logger.Info("rc step", "step", rep.Step,
+					"rows_sent", rep.RowsSent, "rows_changed", rep.RowsChanged)
+			}
+		}
+		scores = centrality.FromDistances(coord.Distances(), g.Vertices(), g.NumIDs())
+		sessionStats = sessionSummary{steps: coord.StepCount(), stats: coord.Stats()}
 	} else {
 		e, err := core.New(g, eopts)
 		if err != nil {
@@ -465,16 +571,30 @@ type sessionSummary struct {
 // concurrent readers and writers exercised end to end from the CLI. With an
 // obsAddr the session also serves /metrics, /healthz, /statusz and pprof for
 // its lifetime (plus linger, which holds the settled session open so late
-// scrapers still see it).
-func serveAnalysis(logger *slog.Logger, g *graph.Graph, opts anytime.Options, replayer *changelog.Replayer, reg *obs.Registry, obsAddr string, linger time.Duration) (centrality.Scores, sessionSummary, error) {
-	ctx := context.Background()
-	s, err := anytime.New(ctx, g, opts)
+// scrapers still see it). SIGINT/SIGTERM shut the session down gracefully:
+// stepping drains, the last published epoch becomes the report, the
+// observability endpoint closes, and the command exits cleanly.
+func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Session, error), replayer *changelog.Replayer, reg *obs.Registry, obsAddr string, linger time.Duration, dep *deployment) (centrality.Scores, sessionSummary, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s, err := build(ctx)
 	if err != nil {
 		return centrality.Scores{}, sessionSummary{}, err
 	}
 	defer s.Close()
+	// graceful turns a signal-cancelled wait into a clean exit on the last
+	// published epoch — an interrupted anytime analysis is still an answer.
+	graceful := func() (centrality.Scores, sessionSummary, error) {
+		logger.Info("signal received; draining session and shutting down")
+		if cerr := s.Close(); cerr != nil {
+			logger.Warn("session close", "err", cerr)
+		}
+		final := s.Snapshot()
+		logger.Info("final epoch published", "epoch", final.Epoch, "step", final.Step)
+		return final.Scores(), sessionSummary{steps: final.Step, stats: final.Stats}, nil
+	}
 	if obsAddr != "" {
-		addr, shutdown, err := startObsServer(obsAddr, obsMux(reg, s))
+		addr, shutdown, err := startObsServer(obsAddr, obsMux(reg, s, dep))
 		if err != nil {
 			return centrality.Scores{}, sessionSummary{}, err
 		}
@@ -521,6 +641,9 @@ func serveAnalysis(logger *slog.Logger, g *graph.Graph, opts anytime.Options, re
 	for {
 		sn, err := s.WaitFor(ctx, func(sn *anytime.Snapshot) bool { return sn.Epoch > last })
 		if err != nil {
+			if ctx.Err() != nil {
+				return graceful()
+			}
 			return centrality.Scores{}, sessionSummary{}, err
 		}
 		sample(sn)
@@ -531,18 +654,68 @@ func serveAnalysis(logger *slog.Logger, g *graph.Graph, opts anytime.Options, re
 	// The analysis settled; any batches still pending fire immediately now,
 	// then the session settles again on the final graph.
 	if err := <-replayErr; err != nil {
+		if ctx.Err() != nil {
+			return graceful()
+		}
 		return centrality.Scores{}, sessionSummary{}, err
 	}
 	final, err := s.Wait(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return graceful()
+		}
 		return centrality.Scores{}, sessionSummary{}, err
 	}
 	sample(final)
 	if linger > 0 {
 		logger.Info("lingering before shutdown", "duration", linger)
-		time.Sleep(linger)
+		select {
+		case <-ctx.Done():
+			logger.Info("signal received; ending linger early")
+		case <-time.After(linger):
+		}
 	}
 	return final.Scores(), sessionSummary{steps: final.Step, stats: final.Stats}, nil
+}
+
+// workerRole implements -role=worker: host one partition of the analysis,
+// exchange boundary rows with peer workers directly, and follow the
+// coordinator's commands until it says shutdown (clean exit) or the process
+// receives SIGINT/SIGTERM (also a clean exit — the coordinator notices the
+// dropped connection and degrades; a restarted worker rejoins and catches
+// up from the replayed mutation log).
+func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner, p int, seed int64, listen, coordAddr string, roundTO time.Duration, tracer core.Tracer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	logger.Info("worker mesh endpoint up", "mesh", ln.Addr(), "coordinator", coordAddr)
+	err = dist.RunWorker(ctx, dist.WorkerConfig{
+		Coordinator:  coordAddr,
+		MeshListener: ln,
+		Graph:        g,
+		P:            p,
+		Seed:         seed,
+		Partitioner:  part,
+		Transport:    transport.Config{RoundTimeout: roundTO},
+		Tracer:       tracer,
+		Logger:       logger,
+	})
+	switch {
+	case err == nil:
+		logger.Info("worker shut down by coordinator")
+		return nil
+	case ctx.Err() != nil:
+		logger.Info("worker shutting down on signal")
+		return nil
+	default:
+		return err
+	}
 }
 
 // Bench implements cmd/aacc-bench.

@@ -8,9 +8,17 @@ import (
 	"time"
 
 	"aacc/internal/anytime"
+	"aacc/internal/dist"
 	"aacc/internal/dv"
 	"aacc/internal/obs"
 )
+
+// deployment describes the process's place in a multi-process cluster for
+// the observability endpoint. A nil *deployment means single-process.
+type deployment struct {
+	role    string
+	workers func() []dist.WorkerInfo
+}
 
 // obsMux builds the observability endpoint for a live anytime session:
 //
@@ -21,7 +29,7 @@ import (
 //
 // Everything reads through the session's lock-free snapshot path, so a
 // scraper never blocks (or is blocked by) the analysis.
-func obsMux(reg *obs.Registry, s *anytime.Session) *http.ServeMux {
+func obsMux(reg *obs.Registry, s *anytime.Session, dep *deployment) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -52,6 +60,11 @@ func obsMux(reg *obs.Registry, s *anytime.Session) *http.ServeMux {
 			state = "exhausted"
 		}
 		fmt.Fprintf(w, "anytime closeness-centrality session\n\n")
+		if dep != nil {
+			fmt.Fprintf(w, "role:      %s\n", dep.role)
+		} else {
+			fmt.Fprintf(w, "role:      single-process\n")
+		}
 		fmt.Fprintf(w, "state:     %s\n", state)
 		if sn.Degraded {
 			fmt.Fprintf(w, "fault:     %s\n", sn.Fault)
@@ -64,6 +77,16 @@ func obsMux(reg *obs.Registry, s *anytime.Session) *http.ServeMux {
 		if total > 0 {
 			fmt.Fprintf(w, "coverage:  %.1f%% of sampled distance entries known (%d rows sampled)\n",
 				100*float64(known)/float64(total), min(64, len(sn.Vertices())))
+		}
+		if dep != nil && dep.workers != nil {
+			fmt.Fprintf(w, "\nworkers:\n")
+			for _, wi := range dep.workers() {
+				status := "alive"
+				if !wi.Alive {
+					status = "dead: " + wi.LastErr
+				}
+				fmt.Fprintf(w, "  %2d  %-21s  %s\n", wi.Index, wi.Addr, status)
+			}
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -46,7 +46,7 @@ func TestObsMuxEndpoints(t *testing.T) {
 	if _, err := s.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(obsMux(reg, s))
+	srv := httptest.NewServer(obsMux(reg, s, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv.URL+"/metrics")

@@ -58,6 +58,28 @@ type Stats struct {
 // SimTotal is the modelled total parallel runtime.
 func (s Stats) SimTotal() time.Duration { return s.SimCompute + s.SimComm }
 
+// Merge folds another participant's accounting of the *same* analysis into
+// s, as a multi-process coordinator does with per-worker stats. Traffic and
+// communication time add — each worker accounts only the messages it sent
+// itself. Round counts and modelled parallel compute take the maximum —
+// every worker participates in the same global rounds, and the parallel time
+// of a section is its slowest participant, not the sum.
+func (s Stats) Merge(o Stats) Stats {
+	if o.SimCompute > s.SimCompute {
+		s.SimCompute = o.SimCompute
+	}
+	s.SimComm += o.SimComm
+	s.BytesSent += o.BytesSent
+	s.MessagesSent += o.MessagesSent
+	if o.ExchangeRounds > s.ExchangeRounds {
+		s.ExchangeRounds = o.ExchangeRounds
+	}
+	if o.Broadcasts > s.Broadcasts {
+		s.Broadcasts = o.Broadcasts
+	}
+	return s
+}
+
 // Cluster is a simulated P-processor machine exchanging payloads by
 // reference. It is the in-process execution runtime (runtime.Sim).
 type Cluster struct {

@@ -37,6 +37,9 @@ const checkpointVersion = 1
 // WriteCheckpoint serialises the engine's full anytime state. Safe between
 // RC steps (never concurrently with Step or an Apply* call).
 func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	if e.Partial() {
+		return fmt.Errorf("core: checkpointing is not supported on a partial (multi-process worker) engine")
+	}
 	pl := checkpointPayload{
 		Version:  checkpointVersion,
 		NumIDs:   e.g.NumIDs(),

@@ -7,6 +7,7 @@ import (
 	"aacc/internal/cluster"
 	"aacc/internal/dv"
 	"aacc/internal/graph"
+	"aacc/internal/runtime"
 	"aacc/internal/sssp"
 )
 
@@ -39,30 +40,49 @@ func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
 			return fmt.Errorf("core: non-positive weight %d on edge {%d,%d}", ed.W, ed.U, ed.V)
 		}
 	}
+	// Decide which edges actually improve the graph *before* inserting any,
+	// so the endpoint-row broadcast (which can fail on a multi-process
+	// runtime) still leaves the graph untouched on error.
 	applied := make([]graph.EdgeTriple, 0, len(edges))
+	best := make(map[[2]graph.ID]int32, len(edges))
 	for _, ed := range edges {
-		if w, ok := e.g.Weight(ed.U, ed.V); ok && w <= ed.W {
-			continue // no shorter than what exists
+		u, v := ed.U, ed.V
+		if u > v {
+			u, v = v, u
 		}
-		e.g.AddEdge(ed.U, ed.V, ed.W)
-		e.invalidateMask(ed.U)
-		e.invalidateMask(ed.V)
+		w, ok := best[[2]graph.ID{u, v}]
+		if !ok {
+			w, ok = e.g.Weight(ed.U, ed.V)
+		}
+		if ok && w <= ed.W {
+			continue // no shorter than what exists (or than an earlier batch entry)
+		}
+		best[[2]graph.ID{u, v}] = ed.W
 		applied = append(applied, ed)
 	}
 	if len(applied) == 0 {
 		return nil
 	}
-	e.relaxEdgeBatch(sortedEdgeList(applied))
+	applied = sortedEdgeList(applied)
+	endRows, err := e.broadcastRows(edgeEndpoints(applied))
+	if err != nil {
+		return err
+	}
+	for _, ed := range applied {
+		e.g.AddEdge(ed.U, ed.V, ed.W)
+		e.invalidateMask(ed.U)
+		e.invalidateMask(ed.V)
+	}
+	e.relaxEdgeBatch(applied, endRows)
 	e.trace("edge-add", "%d edges applied", len(applied))
 	e.conv = false
 	return nil
 }
 
-// relaxEdgeBatch broadcasts the DV rows of every endpoint of the batch
-// (tree broadcast, as in Fig. 3 line 22) and then relaxes every local row on
-// every processor through every new edge.
-func (e *Engine) relaxEdgeBatch(edges []graph.EdgeTriple) {
-	endRows := e.broadcastRows(edgeEndpoints(edges))
+// relaxEdgeBatch relaxes every local row on every resident processor
+// through every new edge, given the endpoint rows already broadcast (tree
+// broadcast, as in Fig. 3 line 22).
+func (e *Engine) relaxEdgeBatch(edges []graph.EdgeTriple, endRows map[graph.ID][]int32) {
 	e.rt.Parallel(func(p int) {
 		e.procs[p].relaxThroughEdges(e, edges, endRows)
 	})
@@ -79,12 +99,16 @@ func edgeEndpoints(edges []graph.EdgeTriple) []graph.ID {
 }
 
 // broadcastRows snapshots the current DV row of each vertex from its owner
-// and accounts one tree broadcast per row.
-func (e *Engine) broadcastRows(ids []graph.ID) map[graph.ID][]int32 {
+// and accounts one tree broadcast per row. On a partial (multi-process)
+// engine only resident owners' rows are readable here; the runtime's row
+// all-gather merges in the rows contributed by the other workers, which run
+// the same mutation with the same vertex set. The error is always nil on
+// single-process runtimes.
+func (e *Engine) broadcastRows(ids []graph.ID) (map[graph.ID][]int32, error) {
 	out := make(map[graph.ID][]int32, len(ids))
 	for _, v := range ids {
 		o := e.Owner(v)
-		if o < 0 {
+		if o < 0 || !e.resident(o) {
 			continue
 		}
 		row := e.procs[o].store.CloneRow(v)
@@ -94,7 +118,14 @@ func (e *Engine) broadcastRows(ids []graph.ID) map[graph.ID][]int32 {
 		out[v] = row
 		e.rt.Broadcast(o, &cluster.Mail{Payload: v, Bytes: 4 + 4*len(row)})
 	}
-	return out
+	if rb, ok := e.rt.(runtime.RowBroadcaster); ok && e.partial != nil {
+		all, err := rb.BroadcastRows(out)
+		if err != nil {
+			return nil, fmt.Errorf("core: broadcasting endpoint rows: %w", err)
+		}
+		return all, nil
+	}
+	return out, nil
 }
 
 // ApplyEdgeDeletions removes the given edges as one joint batch and
@@ -138,7 +169,10 @@ func (e *Engine) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
 		}
 	}
 	batch = sortedEdgeList(batch)
-	endRows := e.broadcastRows(edgeEndpoints(batch))
+	endRows, err := e.broadcastRows(edgeEndpoints(batch))
+	if err != nil {
+		return err
+	}
 	for _, ed := range batch {
 		e.g.RemoveEdge(ed.U, ed.V)
 		e.invalidateMask(ed.U)
@@ -421,6 +455,9 @@ func (b *VertexBatch) NumEdges() int { return len(b.Internal) + len(b.External) 
 // batch's edges with the edge-addition algorithm (Fig. 3). It returns the
 // IDs assigned to the new vertices.
 func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) ([]graph.ID, error) {
+	if e.Partial() {
+		return nil, fmt.Errorf("core: vertex additions are not supported on a partial (multi-process worker) engine")
+	}
 	if err := batch.Validate(); err != nil {
 		return nil, err
 	}
@@ -503,6 +540,9 @@ func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) 
 // paper lists as future work. The whole batch is validated before anything
 // mutates: a dead or duplicated vertex rejects the batch intact.
 func (e *Engine) RemoveVertices(ids []graph.ID) error {
+	if e.Partial() {
+		return fmt.Errorf("core: vertex removals are not supported on a partial (multi-process worker) engine")
+	}
 	seen := make(map[graph.ID]bool, len(ids))
 	for _, v := range ids {
 		if !e.g.Has(v) {

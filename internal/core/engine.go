@@ -109,11 +109,17 @@ func (o Options) withDefaults() Options {
 
 // Engine is one anytime anywhere closeness-centrality analysis.
 type Engine struct {
-	g     *graph.Graph
-	opts  Options
-	rt    runtime.Runtime // the execution runtime all phases run on
-	om    *engineObs      // live metrics, nil unless Options.Obs was set
-	owner []int16         // vertex ID -> processor, -1 for dead vertices
+	g    *graph.Graph
+	opts Options
+	rt   runtime.Runtime // the execution runtime all phases run on
+	om   *engineObs      // live metrics, nil unless Options.Obs was set
+	// partial is non-nil when the runtime hosts only a slice of the
+	// processors in this process (a multi-process worker). Bookkeeping is
+	// still built for all P processors — determinism requires the same
+	// partition everywhere — but row data and query results exist only for
+	// the resident ones.
+	partial runtime.Partial
+	owner   []int16 // vertex ID -> processor, -1 for dead vertices
 	procs []*proc
 	width int // current global ID-space size
 	step  int
@@ -326,6 +332,9 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		g:    g,
 		opts: opts,
 		rt:   rt,
+	}
+	if pa, ok := rt.(runtime.Partial); ok {
+		e.partial = pa
 	}
 	if opts.Obs != nil {
 		e.om = newEngineObs(opts.Obs)
@@ -744,12 +753,26 @@ func (e *Engine) ReinitializeFrom(g *graph.Graph) {
 	e.initialize()
 }
 
+// resident reports whether processor p's row data lives in this process.
+// Always true outside multi-process deployments.
+func (e *Engine) resident(p int) bool { return e.partial == nil || e.partial.Resident(p) }
+
+// Partial reports whether this engine hosts only a slice of the processors
+// (a multi-process worker). Queries cover the resident slice only, and
+// whole-cluster operations (checkpointing, fault injection, repartitioning)
+// are unavailable.
+func (e *Engine) Partial() bool { return e.partial != nil }
+
 // Distances returns a copy of every live vertex's current DV row, keyed by
 // vertex ID. Between deletions the entries are monotonically non-increasing
-// upper bounds; at convergence they equal true shortest-path distances.
+// upper bounds; at convergence they equal true shortest-path distances. On a
+// partial (worker) engine only resident processors' rows are returned.
 func (e *Engine) Distances() map[graph.ID][]int32 {
 	out := make(map[graph.ID][]int32, e.g.NumVertices())
 	for _, pr := range e.procs {
+		if !e.resident(pr.id) {
+			continue
+		}
 		for _, v := range pr.local {
 			out[v] = append([]int32(nil), pr.store.Row(v)...)
 		}
@@ -764,13 +787,33 @@ func (e *Engine) Scores() centrality.Scores {
 	return centrality.FromDistances(e.Distances(), e.g.Vertices(), e.width)
 }
 
-// Distance returns the current estimate of d(u,v) (Inf if unknown).
+// Distance returns the current estimate of d(u,v) (Inf if unknown, or if
+// u's owner is not resident in this process).
 func (e *Engine) Distance(u, v graph.ID) int32 {
 	o := e.Owner(u)
-	if o < 0 {
+	if o < 0 || !e.resident(o) {
 		return dv.Inf
 	}
 	return e.procs[o].store.Get(u, v)
+}
+
+// ForceResend marks every resident local row for a full send to all its
+// peers and clears the row's up-to-date bookkeeping, making the next RC
+// steps re-ship complete state. The coordinator invokes it on every worker
+// after one rejoins: the restarted process holds fresh IA rows plus replayed
+// mutations, the survivors hold possibly-newer rows the newcomer has never
+// seen, and a full re-send round restores the exchange invariant (everything
+// a peer holds of mine is an upper bound I have since confirmed or
+// improved). Convergence is reset; the subsequent steps run to the exact
+// fixpoint.
+func (e *Engine) ForceResend() {
+	e.rt.Parallel(func(p int) {
+		pr := e.procs[p]
+		for _, v := range pr.local {
+			pr.noteRowFull(v)
+		}
+	})
+	e.conv = false
 }
 
 // peerMask returns the bitmask of processors that have v as an external

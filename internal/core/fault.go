@@ -35,6 +35,9 @@ type FailureRecovery struct {
 // following RC steps re-converge to the exact fixpoint. Survivors reset the
 // rejoined processor's snapshot bookkeeping so it receives full rows again.
 func (e *Engine) FailProcessor(p int) (*FailureRecovery, error) {
+	if e.Partial() {
+		return nil, fmt.Errorf("core: FailProcessor is not supported on a partial (multi-process worker) engine; real worker crashes recover through the coordinator's rejoin protocol")
+	}
 	if p < 0 || p >= e.opts.P {
 		return nil, fmt.Errorf("core: FailProcessor(%d) out of range [0,%d)", p, e.opts.P)
 	}

@@ -219,6 +219,9 @@ type RepartitionResult struct {
 // gets a full pending scan, so the following RC steps re-reach the exact
 // fixpoint.
 func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
+	if e.Partial() {
+		return nil, fmt.Errorf("core: repartitioning is not supported on a partial (multi-process worker) engine")
+	}
 	res := &RepartitionResult{}
 	firstNew := graph.ID(e.g.NumIDs()) // batch vertices get IDs >= firstNew
 	if batch != nil {

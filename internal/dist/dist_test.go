@@ -1,0 +1,378 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"aacc/internal/anytime"
+	"aacc/internal/core"
+	"aacc/internal/gen"
+	"aacc/internal/graph"
+	"aacc/internal/partition"
+	"aacc/internal/transport"
+)
+
+const (
+	testP    = 4
+	testSeed = int64(7)
+)
+
+func testGraph(n int) *graph.Graph {
+	return gen.BarabasiAlbert(n, 2, testSeed, gen.Config{MaxWeight: 4})
+}
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return ln
+}
+
+// startWorker launches RunWorker on a fresh clone of base in a goroutine and
+// returns its mesh address and exit channel. addr == "" binds a new port;
+// a restart passes the dead worker's address to reclaim its identity.
+func startWorker(t *testing.T, ctx context.Context, coordAddr, addr string, base *graph.Graph) (string, chan error) {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("binding mesh listener %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{
+			Coordinator:  coordAddr,
+			MeshListener: ln,
+			Graph:        base.Clone(),
+			P:            testP,
+			Seed:         testSeed,
+			Partitioner:  partition.Multilevel{Seed: testSeed},
+			Transport:    transport.Config{RoundTimeout: 2 * time.Second},
+			DialTimeout:  15 * time.Second,
+		})
+	}()
+	return ln.Addr().String(), done
+}
+
+func newTestCoordinator(t *testing.T, ln net.Listener, g *graph.Graph, workers int) *Coordinator {
+	t.Helper()
+	coord, err := NewCoordinator(ln, g, Config{
+		Workers:     workers,
+		P:           testP,
+		Seed:        testSeed,
+		Partitioner: "multilevel",
+		Transport:   transport.Config{RoundTimeout: 2 * time.Second},
+		JoinTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return coord
+}
+
+func oracle(t *testing.T, g *graph.Graph) *core.Engine {
+	t.Helper()
+	eng, err := core.New(g, core.Options{
+		P:           testP,
+		Seed:        testSeed,
+		Partitioner: partition.Multilevel{Seed: testSeed},
+	})
+	if err != nil {
+		t.Fatalf("oracle engine: %v", err)
+	}
+	return eng
+}
+
+func converge(t *testing.T, name string, step func() error, done func() bool) {
+	t.Helper()
+	for i := 0; !done(); i++ {
+		if i > 500 {
+			t.Fatalf("%s: no convergence after %d steps", name, i)
+		}
+		if err := step(); err != nil {
+			t.Fatalf("%s: step %d: %v", name, i, err)
+		}
+	}
+}
+
+func compareDistances(t *testing.T, when string, got, want map[graph.ID][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: cluster has %d rows, oracle has %d", when, len(got), len(want))
+	}
+	for id, wrow := range want {
+		grow, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: cluster is missing row %d", when, id)
+		}
+		if len(grow) != len(wrow) {
+			t.Fatalf("%s: row %d: cluster width %d, oracle width %d", when, id, len(grow), len(wrow))
+		}
+		for j := range wrow {
+			if grow[j] != wrow[j] {
+				t.Fatalf("%s: d(%d,%d): cluster %d, oracle %d", when, id, j, grow[j], wrow[j])
+			}
+		}
+	}
+}
+
+// TestClusterMatchesSingleProcess converges a 1-coordinator + 2-worker
+// cluster over real sockets and requires its distances to equal a
+// single-process engine's at the fixpoint — before and after a batch of
+// dynamic updates that exercises every mutation kind, including the
+// barrier-mode deletion whose internal convergence the coordinator has to
+// arbitrate round by round.
+func TestClusterMatchesSingleProcess(t *testing.T) {
+	base := testGraph(120)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln := listen(t)
+	coordAddr := ln.Addr().String()
+	_, done0 := startWorker(t, ctx, coordAddr, "", base)
+	_, done1 := startWorker(t, ctx, coordAddr, "", base)
+
+	coord := newTestCoordinator(t, ln, base.Clone(), 2)
+	defer coord.Close()
+
+	ora := oracle(t, base.Clone())
+	defer ora.Close()
+
+	step := func() error { _, err := coord.Step(); return err }
+	converge(t, "cluster", step, coord.Converged)
+	converge(t, "oracle", func() error { _, err := ora.Step(); return err }, ora.Converged)
+	compareDistances(t, "initial fixpoint", coord.Distances(), ora.Distances())
+
+	// Dynamic updates, one of each kind, applied identically to both sides.
+	edges := base.Edges()
+	adds := []graph.EdgeTriple{{U: 0, V: graph.ID(base.NumIDs() - 1), W: 1}}
+	dels := [][2]graph.ID{{edges[0].U, edges[0].V}}
+	eager := [][2]graph.ID{{edges[1].U, edges[1].V}}
+	wu, wv, ww := edges[2].U, edges[2].V, edges[2].W+3
+	for _, m := range []struct {
+		name    string
+		cluster func() error
+		oracle  func() error
+	}{
+		{"add", func() error { return coord.ApplyEdgeAdditions(adds) },
+			func() error { return ora.ApplyEdgeAdditions(adds) }},
+		{"del-barrier", func() error { return coord.ApplyEdgeDeletions(dels) },
+			func() error { return ora.ApplyEdgeDeletions(dels) }},
+		{"del-eager", func() error { return coord.ApplyEdgeDeletionsEager(eager) },
+			func() error { return ora.ApplyEdgeDeletionsEager(eager) }},
+		{"set-weight", func() error { return coord.SetEdgeWeight(wu, wv, ww) },
+			func() error { return ora.SetEdgeWeight(wu, wv, ww) }},
+	} {
+		if err := m.cluster(); err != nil {
+			t.Fatalf("cluster %s: %v", m.name, err)
+		}
+		if err := m.oracle(); err != nil {
+			t.Fatalf("oracle %s: %v", m.name, err)
+		}
+	}
+	if got, want := coord.Graph().NumEdges(), ora.Graph().NumEdges(); got != want {
+		t.Fatalf("after updates: mirror has %d edges, oracle %d", got, want)
+	}
+	converge(t, "cluster reconverge", step, coord.Converged)
+	converge(t, "oracle reconverge", func() error { _, err := ora.Step(); return err }, ora.Converged)
+	compareDistances(t, "post-update fixpoint", coord.Distances(), ora.Distances())
+
+	if st := coord.Stats(); st.BytesSent == 0 {
+		t.Fatalf("cluster stats report no bytes sent: %+v", st)
+	}
+
+	if err := coord.Close(); err != nil {
+		t.Fatalf("coordinator close: %v", err)
+	}
+	for i, done := range []chan error{done0, done1} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exit: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit after shutdown", i)
+		}
+	}
+}
+
+// TestWorkerCrashRejoin kills one of two worker processes under an anytime
+// session, requires the session to degrade (the fault crosses the process
+// boundary as core.ErrExchange), restarts the worker on the same mesh
+// address, and requires the session to recover and converge to the oracle's
+// distances.
+func TestWorkerCrashRejoin(t *testing.T) {
+	base := testGraph(80)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln := listen(t)
+	coordAddr := ln.Addr().String()
+	_, done0 := startWorker(t, ctx, coordAddr, "", base)
+	wctx, wcancel := context.WithCancel(ctx)
+	meshAddr, done1 := startWorker(t, wctx, coordAddr, "", base)
+
+	coord := newTestCoordinator(t, ln, base.Clone(), 2)
+
+	// Kill worker 1 before the session steps: its first exchange must fail
+	// across the real process boundary.
+	wcancel()
+	select {
+	case <-done1:
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed worker did not exit")
+	}
+
+	sess, err := anytime.NewWith(ctx, coord, anytime.Options{})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	defer sess.Close()
+
+	wait, waitCancel := context.WithTimeout(ctx, 60*time.Second)
+	defer waitCancel()
+	sn, err := sess.WaitFor(wait, func(sn *anytime.Snapshot) bool { return sn.Degraded })
+	if err != nil {
+		t.Fatalf("waiting for degraded: %v", err)
+	}
+	if !strings.Contains(sn.Fault, "workers down") {
+		t.Fatalf("degraded fault %q does not mention the dead worker", sn.Fault)
+	}
+
+	// Restart the worker on its old mesh address; the coordinator must
+	// readmit it and the session must clear the degradation and converge.
+	_, done1 = startWorker(t, ctx, coordAddr, meshAddr, base)
+	sn, err = sess.WaitFor(wait, func(sn *anytime.Snapshot) bool { return sn.Converged && !sn.Degraded })
+	if err != nil {
+		t.Fatalf("waiting for recovery: %v", err)
+	}
+
+	ora := oracle(t, base.Clone())
+	defer ora.Close()
+	converge(t, "oracle", func() error { _, err := ora.Step(); return err }, ora.Converged)
+	want := ora.Distances()
+	for id, wrow := range want {
+		for j := range wrow {
+			if got := sn.Distance(id, graph.ID(j)); got != wrow[j] {
+				t.Fatalf("recovered d(%d,%d): session %d, oracle %d", id, j, got, wrow[j])
+			}
+		}
+	}
+
+	infos := coord.Workers()
+	for _, wi := range infos {
+		if !wi.Alive {
+			t.Fatalf("worker %d (%s) still marked dead after rejoin: %s", wi.Index, wi.Addr, wi.LastErr)
+		}
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatalf("session close: %v", err)
+	}
+	for i, done := range []chan error{done0, done1} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exit: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit after close", i)
+		}
+	}
+}
+
+// TestJoinVerification rejects a worker whose analysis parameters differ
+// from the cluster's, with a reason that reaches the worker, while a
+// matching worker is still admitted afterwards.
+func TestJoinVerification(t *testing.T) {
+	base := testGraph(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln := listen(t)
+	coordAddr := ln.Addr().String()
+
+	coordC := make(chan *Coordinator, 1)
+	errC := make(chan error, 1)
+	go func() {
+		coord, err := NewCoordinator(ln, base.Clone(), Config{
+			Workers:     1,
+			P:           testP,
+			Seed:        testSeed,
+			Partitioner: "multilevel",
+			Transport:   transport.Config{RoundTimeout: 2 * time.Second},
+			JoinTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			errC <- err
+			return
+		}
+		coordC <- coord
+	}()
+
+	// Wrong seed: the deterministic partition would differ.
+	badLn := listen(t)
+	badErr := RunWorker(ctx, WorkerConfig{
+		Coordinator:  coordAddr,
+		MeshListener: badLn,
+		Graph:        base.Clone(),
+		P:            testP,
+		Seed:         testSeed + 1,
+		Partitioner:  partition.Multilevel{Seed: testSeed + 1},
+		DialTimeout:  15 * time.Second,
+	})
+	if badErr == nil || !strings.Contains(badErr.Error(), "seed") {
+		t.Fatalf("mismatched worker error = %v, want a seed rejection", badErr)
+	}
+
+	// Wrong graph: fingerprints differ.
+	other := gen.BarabasiAlbert(40, 3, testSeed, gen.Config{MaxWeight: 4})
+	badLn2 := listen(t)
+	badErr = RunWorker(ctx, WorkerConfig{
+		Coordinator:  coordAddr,
+		MeshListener: badLn2,
+		Graph:        other,
+		P:            testP,
+		Seed:         testSeed,
+		Partitioner:  partition.Multilevel{Seed: testSeed},
+		DialTimeout:  15 * time.Second,
+	})
+	if badErr == nil || !strings.Contains(badErr.Error(), "graph") {
+		t.Fatalf("mismatched-graph worker error = %v, want a graph rejection", badErr)
+	}
+
+	// A matching worker completes formation.
+	_, done := startWorker(t, ctx, coordAddr, "", base)
+	var coord *Coordinator
+	select {
+	case coord = <-coordC:
+	case err := <-errC:
+		t.Fatalf("formation: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("formation did not complete")
+	}
+	if _, err := coord.Step(); err != nil {
+		t.Fatalf("single-worker step: %v", err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"time"
+
+	"aacc/internal/core"
+	"aacc/internal/graph"
+	"aacc/internal/logp"
+	"aacc/internal/obs"
+	"aacc/internal/partition"
+	"aacc/internal/runtime"
+	"aacc/internal/transport"
+)
+
+// WorkerConfig parameterises one worker process. Graph, P, Seed and
+// Partitioner must be the same inputs the coordinator was launched with:
+// every process computes the deterministic partition independently and the
+// coordinator refuses joiners whose parameters or graph fingerprint differ.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's control address (host:port).
+	Coordinator string
+	// MeshListener is the worker's pre-bound peer-mesh listener; its address
+	// is announced at join time and must be reachable by the other workers.
+	MeshListener net.Listener
+	// Graph is this process's independently loaded copy of the base graph.
+	Graph *graph.Graph
+
+	P           int
+	Seed        int64
+	Partitioner partition.Partitioner
+
+	// Transport configures the peer mesh (the coordinator overrides
+	// RoundTimeout so all workers agree on it).
+	Transport transport.Config
+	// DialTimeout bounds how long the worker retries dialing the
+	// coordinator before giving up (default 30s). Workers usually start
+	// before the coordinator's listener is up.
+	DialTimeout time.Duration
+
+	Obs    *obs.Registry
+	Tracer core.Tracer
+	Logger *slog.Logger
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	c.Transport = c.Transport.Normalize()
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = partition.Multilevel{Seed: c.Seed}
+	}
+	return c
+}
+
+// RunWorker joins the cluster at cfg.Coordinator and serves commands until
+// the coordinator says shutdown (returns nil), the context is cancelled, or
+// the control connection dies (returns the error). The caller restarts a
+// failed worker by calling RunWorker again with the same mesh listener
+// address — the coordinator replays the mutation log to rebuild its state.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("dist: worker needs a coordinator address")
+	}
+	if cfg.MeshListener == nil {
+		return fmt.Errorf("dist: worker needs a bound mesh listener")
+	}
+	if cfg.Graph == nil {
+		return fmt.Errorf("dist: worker needs a graph")
+	}
+
+	cn, err := dialCoordinator(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer cn.Close()
+	// Cancellation must unblock the zero-deadline command read and any mesh
+	// wait, so it closes the sockets out from under them.
+	stop := context.AfterFunc(ctx, func() { cn.Close() })
+	defer stop()
+
+	joinDL := time.Now().Add(cfg.DialTimeout)
+	if err := cn.send(mJoin, joinBody{
+		MeshAddr:    cfg.MeshListener.Addr().String(),
+		Fingerprint: Fingerprint(cfg.Graph),
+		P:           cfg.P,
+		Seed:        cfg.Seed,
+		Partitioner: cfg.Partitioner.Name(),
+		N:           cfg.Graph.NumVertices(),
+		M:           cfg.Graph.NumEdges(),
+	}, joinDL); err != nil {
+		return err
+	}
+	// The assign can be a long time coming: initial formation waits for the
+	// full cluster, a rejoin waits for the coordinator mutex.
+	var assign assignBody
+	assignDL := time.Now().Add(2 * time.Minute)
+	kind, body, err := cn.recv(assignDL)
+	if err != nil {
+		return fmt.Errorf("dist: waiting for assignment: %w", err)
+	}
+	switch kind {
+	case mReject:
+		var rej rejectBody
+		if err := json.Unmarshal(body, &rej); err != nil {
+			return fmt.Errorf("dist: join rejected (unreadable reason: %v)", err)
+		}
+		return fmt.Errorf("dist: join rejected: %s", rej.Reason)
+	case mAssign:
+		if err := json.Unmarshal(body, &assign); err != nil {
+			return fmt.Errorf("dist: decoding assignment: %w", err)
+		}
+	default:
+		return fmt.Errorf("dist: expected assignment, got %s", msgName(kind))
+	}
+	if rt := time.Duration(assign.RoundTimeoutMillis) * time.Millisecond; rt > 0 {
+		cfg.Transport.RoundTimeout = rt
+	}
+	cfg.Logger.Info("assigned", "index", assign.Index, "lo", assign.Lo, "hi", assign.Hi,
+		"workers", len(assign.Workers), "replay", len(assign.Replay))
+
+	mesh, err := transport.NewPeerMesh(cfg.MeshListener, transport.PeerConfig{
+		Self:   assign.Index,
+		Addrs:  assign.Workers,
+		Owner:  assign.Owner,
+		Config: cfg.Transport,
+	})
+	if err != nil {
+		return fmt.Errorf("dist: building peer mesh: %w", err)
+	}
+	if cfg.Obs != nil {
+		mesh.SetObs(cfg.Obs)
+	}
+	stopMesh := context.AfterFunc(ctx, func() { mesh.Close() })
+	defer stopMesh()
+
+	var rrt *runtime.Remote
+	eng, err := core.New(cfg.Graph, core.Options{
+		P:           cfg.P,
+		Seed:        cfg.Seed,
+		Partitioner: cfg.Partitioner,
+		Tracer:      cfg.Tracer,
+		Obs:         cfg.Obs,
+		RuntimeFactory: func(p int, model logp.Params) (runtime.Runtime, error) {
+			r, err := runtime.NewRemote(p, assign.Lo, assign.Hi, model, core.WireCodec{}, mesh)
+			if err != nil {
+				return nil, err
+			}
+			rrt = r
+			return r, nil
+		},
+	})
+	if err != nil {
+		mesh.Close()
+		return reportReady(cn, nil, nil, fmt.Errorf("building engine: %w", err))
+	}
+	defer eng.Close() // closes the mesh through the runtime
+
+	// Replay the coordinator's mutation log detached: this worker runs
+	// alone, so the ops were transformed to need no cluster collectives.
+	rrt.SetDetached(true)
+	var replayErr error
+	for i, op := range assign.Replay {
+		if err := applyOp(eng, op); err != nil {
+			replayErr = fmt.Errorf("replaying op %d (%s): %w", i, op.Kind, err)
+			break
+		}
+	}
+	rrt.SetDetached(false)
+	rrt.SetBaseSeq(assign.BaseSeq)
+
+	// Every exchange votes through the coordinator: report the local
+	// outcome, wait for the global verdict, roll back unless it commits.
+	barrierDL := func() time.Time {
+		return time.Now().Add(2*cfg.Transport.RoundTimeout + 30*time.Second)
+	}
+	rrt.SetBarrier(func(local error) error {
+		st := statusBody{OK: local == nil}
+		if local != nil {
+			st.Err = local.Error()
+		}
+		if err := cn.send(mExchStatus, st, barrierDL()); err != nil {
+			return fmt.Errorf("dist: reporting exchange status: %w", err)
+		}
+		var dec decisionBody
+		if _, err := cn.expect(barrierDL(), &dec, mExchDecision); err != nil {
+			return fmt.Errorf("dist: waiting for exchange verdict: %w", err)
+		}
+		if !dec.Commit {
+			return fmt.Errorf("dist: exchange aborted by coordinator: %s", dec.Reason)
+		}
+		return nil
+	})
+
+	if err := reportReady(cn, eng, rrt, replayErr); err != nil {
+		return err
+	}
+	if replayErr != nil {
+		return fmt.Errorf("dist: %w", replayErr)
+	}
+	cfg.Logger.Info("worker ready", "index", assign.Index)
+
+	return serve(ctx, cfg, cn, eng, rrt)
+}
+
+// serve is the worker's command loop: block on the control connection, run
+// each command against the local engine, answer with the outcome.
+func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rrt *runtime.Remote) error {
+	for {
+		kind, body, err := cn.recv(time.Time{})
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dist: control connection lost: %w", err)
+		}
+		switch kind {
+		case mStep:
+			var cmd stepBody
+			if err := json.Unmarshal(body, &cmd); err != nil {
+				return fmt.Errorf("dist: decoding step: %w", err)
+			}
+			rrt.SetBaseSeq(cmd.Seq)
+			rep, stepErr := eng.Step()
+			res := result(eng, rrt, stepErr)
+			res.RowsSent, res.RowsChanged, res.MessagesSent = rep.RowsSent, rep.RowsChanged, rep.MessagesSent
+			if err := cn.send(mResult, res, sendDL(cfg)); err != nil {
+				return err
+			}
+		case mMutate:
+			var cmd mutateBody
+			if err := json.Unmarshal(body, &cmd); err != nil {
+				return fmt.Errorf("dist: decoding mutate: %w", err)
+			}
+			rrt.SetBaseSeq(cmd.Seq)
+			opErr := applyOp(eng, cmd.Op)
+			if err := cn.send(mResult, result(eng, rrt, opErr), sendDL(cfg)); err != nil {
+				return err
+			}
+		case mResync:
+			var cmd resyncBody
+			if err := json.Unmarshal(body, &cmd); err != nil {
+				return fmt.Errorf("dist: decoding resync: %w", err)
+			}
+			rrt.SetBaseSeq(cmd.Seq)
+			eng.ForceResend()
+			if err := cn.send(mResult, result(eng, rrt, nil), sendDL(cfg)); err != nil {
+				return err
+			}
+		case mReport:
+			payload := runtime.EncodeRows(eng.Distances())
+			if err := cn.sendRaw(mReportData, payload, sendDL(cfg)); err != nil {
+				return err
+			}
+		case mShutdown:
+			cfg.Logger.Info("shutdown requested")
+			return nil
+		default:
+			return fmt.Errorf("dist: unexpected %s command", msgName(kind))
+		}
+	}
+}
+
+func sendDL(cfg WorkerConfig) time.Time { return time.Now().Add(30 * time.Second) }
+
+// result summarises the engine state after a command for the coordinator's
+// consensus check.
+func result(eng *core.Engine, rrt *runtime.Remote, opErr error) resultBody {
+	g := eng.Graph()
+	res := resultBody{
+		NextSeq:   rrt.NextSeq(),
+		Step:      eng.StepCount(),
+		Converged: eng.Converged(),
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+		Stats:     eng.Stats(),
+	}
+	if opErr != nil {
+		res.Err = opErr.Error()
+	}
+	return res
+}
+
+// reportReady answers the assignment with mReady. A nil engine means the
+// build itself failed; the coordinator sees the error and gives up on us.
+func reportReady(cn *conn, eng *core.Engine, rrt *runtime.Remote, buildErr error) error {
+	res := resultBody{}
+	if eng != nil {
+		res = result(eng, rrt, buildErr)
+	} else if buildErr != nil {
+		res.Err = buildErr.Error()
+	}
+	if err := cn.send(mReady, res, time.Now().Add(30*time.Second)); err != nil {
+		return err
+	}
+	if eng == nil && buildErr != nil {
+		return fmt.Errorf("dist: %w", buildErr)
+	}
+	return nil
+}
+
+// applyOp dispatches one control-protocol mutation to the engine.
+func applyOp(eng *core.Engine, op Op) error {
+	switch op.Kind {
+	case opEdgeAdd:
+		return eng.ApplyEdgeAdditions(op.Edges)
+	case opEdgeDel:
+		return eng.ApplyEdgeDeletions(op.Pairs)
+	case opEdgeDelEager:
+		return eng.ApplyEdgeDeletionsEager(op.Pairs)
+	case opSetWeight:
+		return eng.SetEdgeWeight(op.U, op.V, op.W)
+	default:
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+}
+
+// dialCoordinator dials the control connection, retrying until DialTimeout:
+// in a normal deployment the workers and the coordinator race to start, and
+// a rejoining worker may beat the coordinator's notice of the old death.
+func dialCoordinator(ctx context.Context, cfg WorkerConfig) (*conn, error) {
+	deadline := time.Now().Add(cfg.DialTimeout)
+	var lastErr error
+	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: dialing coordinator %s: %w", cfg.Coordinator, lastErr)
+		}
+		d := net.Dialer{Timeout: time.Until(deadline)}
+		raw, err := d.DialContext(ctx, "tcp", cfg.Coordinator)
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if err := transport.DialHello(raw, 0, time.Now().Add(10*time.Second)); err != nil {
+			raw.Close()
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		return newConn(raw, cfg.Transport.MaxFrame), nil
+	}
+}

@@ -434,13 +434,13 @@ func TestSetupToleratesRogueDialer(t *testing.T) {
 			c.Write([]byte{1})
 			c.Close()
 		}
-		// Legitimate dialer: rank 1's full hello.
+		// Legitimate dialer: rank 1's full versioned hello.
 		c, err := net.Dial("tcp", l.Addr().String())
 		if err != nil {
 			return
 		}
-		var hello [4]byte
-		binary.LittleEndian.PutUint32(hello[:], 1)
+		var hello [helloLen]byte
+		putHello(hello[:], 1)
 		c.Write(hello[:])
 		// Keep the conn open; the test closes it via tr fields below.
 	}()

@@ -1,0 +1,566 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"aacc/internal/obs"
+)
+
+// PeerMesh is a mesh of TCP connections between worker *processes*. Where
+// TCPLoopback pretends each simulated processor owns a socket inside one
+// address space, PeerMesh carries the same framed rounds between separately
+// started processes that find each other by configured address: each worker
+// listens on its own address, dials its peers on demand, and multiplexes the
+// frames of all its resident processors over one connection per peer.
+//
+// The mesh is built for churn. The accept loop runs for the mesh's whole
+// lifetime, and a fresh hello from a known worker *replaces* that worker's
+// inbound connection — a restarted worker redials and is back in the mesh
+// without any global re-setup. Outbound connections are (re)dialed lazily
+// when a round needs them. Round sequence numbers are supplied by the caller
+// (the coordinator distributes one global sequence), so every worker stamps
+// the same collective with the same seq and restarts cannot diverge; a
+// failed round is not retried here — the coordinator decides.
+type PeerMesh struct {
+	self  int      // this worker's index in addrs
+	addrs []string // mesh address of every worker
+	owner []int    // processor -> worker index
+	cfg   Config
+	ln    net.Listener
+
+	mu     sync.Mutex
+	out    []net.Conn // out[w]: dialed connection to worker w
+	in     []net.Conn // in[w]: accepted connection from worker w
+	inR    []*bufio.Reader
+	wait   chan struct{} // closed+replaced whenever an inbound conn lands
+	closed bool
+
+	acceptDone chan struct{}
+
+	// Wire metrics, nil-safe until SetObs.
+	rounds     *obs.Counter
+	roundFails *obs.Counter
+	reconnects []*obs.Counter
+	peerFail   []*obs.Counter
+}
+
+// PeerConfig describes one worker's place in a mesh.
+type PeerConfig struct {
+	// Self is this worker's index into Addrs.
+	Self int
+	// Addrs holds every worker's mesh address, indexed by worker.
+	Addrs []string
+	// Owner maps each simulated processor to the worker that hosts it;
+	// len(Owner) is the total processor count.
+	Owner []int
+	// Config tunes deadlines and frame limits (zero value = defaults).
+	Config Config
+}
+
+// NewPeerMesh starts a mesh endpoint over ln, which the caller has already
+// bound to this worker's advertised address. The mesh takes ownership of ln;
+// Close tears it down. The accept loop starts immediately — peers may dial
+// in before the first round.
+func NewPeerMesh(ln net.Listener, cfg PeerConfig) (*PeerMesh, error) {
+	n := len(cfg.Addrs)
+	if n < 1 {
+		return nil, fmt.Errorf("transport: peer mesh needs at least 1 worker address")
+	}
+	if cfg.Self < 0 || cfg.Self >= n {
+		return nil, fmt.Errorf("transport: self index %d out of range for %d workers", cfg.Self, n)
+	}
+	for _, w := range cfg.Owner {
+		if w < 0 || w >= n {
+			return nil, fmt.Errorf("transport: processor owner %d out of range for %d workers", w, n)
+		}
+	}
+	m := &PeerMesh{
+		self:       cfg.Self,
+		addrs:      append([]string(nil), cfg.Addrs...),
+		owner:      append([]int(nil), cfg.Owner...),
+		cfg:        cfg.Config.Normalize(),
+		ln:         ln,
+		out:        make([]net.Conn, n),
+		in:         make([]net.Conn, n),
+		inR:        make([]*bufio.Reader, n),
+		wait:       make(chan struct{}),
+		acceptDone: make(chan struct{}),
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// SetObs registers the mesh's wire metrics against reg. Per-peer counters
+// carry both the worker index and its configured address, so a flaky or dead
+// peer is identifiable from /metrics without cross-referencing logs.
+func (m *PeerMesh) SetObs(reg *obs.Registry) {
+	m.rounds = reg.Counter("aacc_transport_wire_rounds_total", "All-to-all rounds carried over the worker peer mesh.")
+	m.roundFails = reg.Counter("aacc_transport_wire_round_failures_total", "Rounds that failed with a transport error.")
+	m.peerFail = make([]*obs.Counter, len(m.addrs))
+	m.reconnects = make([]*obs.Counter, len(m.addrs))
+	for w := range m.addrs {
+		if w == m.self {
+			continue
+		}
+		m.peerFail[w] = reg.Counter("aacc_transport_peer_failures_total",
+			"Send/receive failures by remote worker.",
+			obs.L("peer", strconv.Itoa(w)), obs.L("addr", m.addrs[w]))
+		m.reconnects[w] = reg.Counter("aacc_transport_peer_reconnects_total",
+			"Outbound connections re-dialed after a failure, by remote worker.",
+			obs.L("peer", strconv.Itoa(w)), obs.L("addr", m.addrs[w]))
+	}
+}
+
+func (m *PeerMesh) notePeerFailure(w int) {
+	if m.peerFail != nil && w >= 0 && w < len(m.peerFail) && m.peerFail[w] != nil {
+		m.peerFail[w].Inc()
+	}
+}
+
+// acceptLoop admits inbound peer connections for the mesh's lifetime. A
+// hello from a worker that already has an inbound slot replaces it (the old
+// connection is closed): that is how a restarted peer rejoins.
+func (m *PeerMesh) acceptLoop() {
+	defer close(m.acceptDone)
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed: the mesh is shutting down
+		}
+		rank, err := AcceptHello(conn, len(m.addrs), time.Now().Add(m.cfg.SetupTimeout))
+		if err != nil || rank == m.self {
+			conn.Close()
+			continue
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if old := m.in[rank]; old != nil {
+			old.Close()
+		}
+		m.in[rank] = conn
+		m.inR[rank] = bufio.NewReaderSize(conn, 1<<16)
+		close(m.wait)
+		m.wait = make(chan struct{})
+		m.mu.Unlock()
+	}
+}
+
+// getIn waits (until deadline) for an inbound connection from worker w. The
+// wait is how a round started just after a peer restarts still completes:
+// the reader blocks here until the peer's redial lands.
+func (m *PeerMesh) getIn(w int, deadline time.Time) (net.Conn, *bufio.Reader, error) {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, nil, net.ErrClosed
+		}
+		if c := m.in[w]; c != nil {
+			r := m.inR[w]
+			m.mu.Unlock()
+			return c, r, nil
+		}
+		ch := m.wait
+		m.mu.Unlock()
+		d := time.Until(deadline)
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("no inbound connection from worker %d (%s)", w, m.addrs[w])
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return nil, nil, fmt.Errorf("no inbound connection from worker %d (%s) within deadline", w, m.addrs[w])
+		}
+	}
+}
+
+// getOut returns the outbound connection to worker w, dialing it if absent.
+func (m *PeerMesh) getOut(w int, deadline time.Time) (net.Conn, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if c := m.out[w]; c != nil {
+		m.mu.Unlock()
+		return c, nil
+	}
+	m.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", m.addrs[w], time.Until(deadline))
+	if err != nil {
+		return nil, err
+	}
+	if err := DialHello(conn, m.self, deadline); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		conn.Close()
+		return nil, net.ErrClosed
+	}
+	if old := m.out[w]; old != nil {
+		// Lost a race with another dial; keep the established one.
+		conn.Close()
+		return old, nil
+	}
+	m.out[w] = conn
+	return conn, nil
+}
+
+// dropOut discards a failed outbound connection so the next round redials.
+func (m *PeerMesh) dropOut(w int, c net.Conn) {
+	m.mu.Lock()
+	if m.out[w] == c {
+		m.out[w] = nil
+	}
+	m.mu.Unlock()
+	c.Close()
+}
+
+// Each data record in a peer round is tagged with its logical endpoints,
+// since one connection multiplexes all processor pairs between two workers:
+//
+//	u32 src processor | u32 dst processor | frame bytes
+const peerTagLen = 8
+
+// RoundTrip carries one personalised all-to-all round for the whole
+// processor matrix: frames[src][dst] is the encoded payload from processor
+// src to processor dst; the result is indexed [dst][src]. Only rows whose
+// src is resident on this worker are sent; only cells whose dst is resident
+// here come back — the other workers run the same call with the same seq and
+// each keeps its own slice of the matrix. Pairs resident on this worker
+// never touch a socket.
+//
+// One call is one attempt: a failure is returned without retry, and the
+// caller must not reuse seq for the repaired round (stale records are
+// drained by sequence number on the next call).
+func (m *PeerMesh) RoundTrip(seq uint32, frames [][][]byte) ([][][]byte, error) {
+	p := len(m.owner)
+	if len(frames) != p {
+		return nil, fmt.Errorf("transport: peer round needs %d rows, got %d", p, len(frames))
+	}
+	m.rounds.Inc()
+	in := make([][][]byte, p)
+	for dst := range in {
+		in[dst] = make([][]byte, p)
+	}
+	// Local delivery first: pairs hosted entirely on this worker.
+	for src := 0; src < p; src++ {
+		if m.owner[src] != m.self || frames[src] == nil {
+			continue
+		}
+		for dst, frame := range frames[src] {
+			if frame != nil && m.owner[dst] == m.self {
+				in[dst][src] = frame
+			}
+		}
+	}
+	deadline := time.Now().Add(m.cfg.RoundTimeout)
+	var wg sync.WaitGroup
+	var inMu sync.Mutex
+	errs := make(chan error, 2*len(m.addrs))
+	for w := range m.addrs {
+		if w == m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := m.sendTo(w, seq, frames, deadline); err != nil {
+				m.notePeerFailure(w)
+				errs <- fmt.Errorf("transport: send to worker %d (round %d): %w", w, seq, err)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := m.recvFrom(w, seq, in, &inMu, deadline); err != nil {
+				m.notePeerFailure(w)
+				errs <- fmt.Errorf("transport: recv from worker %d (round %d): %w", w, seq, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		m.roundFails.Inc()
+		return nil, err
+	}
+	return in, nil
+}
+
+// sendTo writes this worker's frames destined for worker w, then the round
+// terminator. A write failure on a cached connection triggers one redial
+// within the round deadline — the fast path for a peer that restarted since
+// the last round.
+func (m *PeerMesh) sendTo(w int, seq uint32, frames [][][]byte, deadline time.Time) error {
+	send := func(conn net.Conn) error {
+		conn.SetWriteDeadline(deadline)
+		for src := 0; src < len(m.owner); src++ {
+			if m.owner[src] != m.self || frames[src] == nil {
+				continue
+			}
+			for dst, frame := range frames[src] {
+				if frame == nil || m.owner[dst] != w {
+					continue
+				}
+				tagged := make([]byte, peerTagLen+len(frame))
+				binary.LittleEndian.PutUint32(tagged[0:4], uint32(src))
+				binary.LittleEndian.PutUint32(tagged[4:8], uint32(dst))
+				copy(tagged[peerTagLen:], frame)
+				if err := writeFrame(conn, seq, tagged); err != nil {
+					return err
+				}
+			}
+		}
+		return writeTerminator(conn, seq)
+	}
+	conn, err := m.getOut(w, deadline)
+	if err != nil {
+		return err
+	}
+	if err := send(conn); err == nil {
+		return nil
+	}
+	// One redial: the cached connection may be a casualty of the peer's
+	// earlier crash even though the peer itself is back.
+	m.dropOut(w, conn)
+	if m.reconnects != nil && m.reconnects[w] != nil {
+		m.reconnects[w].Inc()
+	}
+	conn, err = m.getOut(w, deadline)
+	if err != nil {
+		return err
+	}
+	if err := send(conn); err != nil {
+		m.dropOut(w, conn)
+		return err
+	}
+	return nil
+}
+
+// recvFrom drains worker w's records for round seq into the result matrix.
+// A read failure does not doom the round immediately: if a fresh inbound
+// connection from w lands within the deadline (the peer restarted and
+// redialed), the partial contribution is wiped and the round is re-read from
+// the replacement — so the first round after a rejoin completes instead of
+// failing on the dead incarnation's connection.
+func (m *PeerMesh) recvFrom(w int, seq uint32, in [][][]byte, inMu *sync.Mutex, deadline time.Time) error {
+	readOnce := func(br *bufio.Reader) error {
+		return readRecords(br, seq, m.cfg.MaxFrame, func(payload []byte) error {
+			if len(payload) < peerTagLen {
+				return fmt.Errorf("short peer record (%d bytes)", len(payload))
+			}
+			src := int(binary.LittleEndian.Uint32(payload[0:4]))
+			dst := int(binary.LittleEndian.Uint32(payload[4:8]))
+			if src < 0 || src >= len(m.owner) || m.owner[src] != w {
+				return fmt.Errorf("record claims source processor %d, not resident on worker %d", src, w)
+			}
+			if dst < 0 || dst >= len(m.owner) || m.owner[dst] != m.self {
+				return fmt.Errorf("record for processor %d, not resident here", dst)
+			}
+			inMu.Lock()
+			defer inMu.Unlock()
+			if in[dst][src] != nil {
+				return fmt.Errorf("duplicate record %d->%d", src, dst)
+			}
+			in[dst][src] = payload[peerTagLen:]
+			return nil
+		})
+	}
+	var lastErr error
+	for {
+		conn, br, err := m.getIn(w, deadline)
+		if err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		conn.SetReadDeadline(deadline)
+		if err := readOnce(br); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if !m.awaitReplacement(w, conn, deadline) {
+			return lastErr
+		}
+		inMu.Lock()
+		for dst := range in {
+			for src := range in[dst] {
+				if m.owner[src] == w {
+					in[dst][src] = nil
+				}
+			}
+		}
+		inMu.Unlock()
+	}
+}
+
+// awaitReplacement waits until worker w's inbound connection is no longer
+// conn (a redial landed) or the deadline passes. It reports whether a
+// replacement is available.
+func (m *PeerMesh) awaitReplacement(w int, conn net.Conn, deadline time.Time) bool {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return false
+		}
+		if m.in[w] != nil && m.in[w] != conn {
+			m.mu.Unlock()
+			return true
+		}
+		ch := m.wait
+		m.mu.Unlock()
+		d := time.Until(deadline)
+		if d <= 0 {
+			return false
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return false
+		}
+	}
+}
+
+// AllGather shares one worker-level payload with every peer and returns all
+// workers' payloads indexed by worker (this worker's own payload included).
+// It rides the same framed rounds as RoundTrip and therefore needs its own
+// fresh seq from the caller.
+func (m *PeerMesh) AllGather(seq uint32, payload []byte) ([][]byte, error) {
+	out := make([][]byte, len(m.addrs))
+	out[m.self] = payload
+	deadline := time.Now().Add(m.cfg.RoundTimeout)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(m.addrs))
+	for w := range m.addrs {
+		if w == m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			send := func(conn net.Conn) error {
+				conn.SetWriteDeadline(deadline)
+				if err := writeFrame(conn, seq, payload); err != nil {
+					return err
+				}
+				return writeTerminator(conn, seq)
+			}
+			conn, err := m.getOut(w, deadline)
+			if err == nil {
+				if err = send(conn); err != nil {
+					m.dropOut(w, conn)
+					if conn, err = m.getOut(w, deadline); err == nil {
+						if err = send(conn); err != nil {
+							m.dropOut(w, conn)
+						}
+					}
+				}
+			}
+			if err != nil {
+				m.notePeerFailure(w)
+				errs <- fmt.Errorf("transport: all-gather send to worker %d (round %d): %w", w, seq, err)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var err error
+			for {
+				var conn net.Conn
+				var br *bufio.Reader
+				var gerr error
+				conn, br, gerr = m.getIn(w, deadline)
+				if gerr != nil {
+					if err == nil {
+						err = gerr
+					}
+					break
+				}
+				conn.SetReadDeadline(deadline)
+				seen := false
+				err = readRecords(br, seq, m.cfg.MaxFrame, func(p []byte) error {
+					if seen {
+						return fmt.Errorf("two all-gather records from worker %d", w)
+					}
+					seen = true
+					out[w] = p
+					return nil
+				})
+				if err == nil && !seen {
+					err = fmt.Errorf("no all-gather record from worker %d", w)
+				}
+				if err == nil || !m.awaitReplacement(w, conn, deadline) {
+					break
+				}
+				out[w] = nil
+			}
+			if err != nil {
+				m.notePeerFailure(w)
+				errs <- fmt.Errorf("transport: all-gather recv from worker %d (round %d): %w", w, seq, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		m.roundFails.Inc()
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close tears the mesh down: the listener stops accepting and every
+// connection in both directions is closed. Safe to call more than once.
+func (m *PeerMesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.wait)
+	m.wait = make(chan struct{})
+	conns := make([]net.Conn, 0, 2*len(m.addrs))
+	for i := range m.out {
+		if m.out[i] != nil {
+			conns = append(conns, m.out[i])
+			m.out[i] = nil
+		}
+		if m.in[i] != nil {
+			conns = append(conns, m.in[i])
+			m.in[i] = nil
+		}
+	}
+	m.mu.Unlock()
+	err := m.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	<-m.acceptDone
+	return err
+}
+
+// Addr returns the listener's bound address (useful when the configured
+// address used port 0).
+func (m *PeerMesh) Addr() string { return m.ln.Addr().String() }

@@ -210,15 +210,11 @@ func (t *TCPLoopback) establish(listeners []net.Listener) error {
 					errs <- fmt.Errorf("transport: dial %d->%d: %w", src, dst, err)
 					return
 				}
-				var hello [4]byte
-				binary.LittleEndian.PutUint32(hello[:], uint32(src))
-				conn.SetWriteDeadline(deadline)
-				if _, err := conn.Write(hello[:]); err != nil {
+				if err := DialHello(conn, src, deadline); err != nil {
 					conn.Close()
 					errs <- fmt.Errorf("transport: hello %d->%d: %w", src, dst, err)
 					return
 				}
-				conn.SetWriteDeadline(time.Time{})
 				t.conns[src][dst] = conn
 			}
 		}(src)
@@ -244,23 +240,22 @@ func (t *TCPLoopback) acceptPeers(dst int, l net.Listener, deadline time.Time) e
 		if err != nil {
 			return fmt.Errorf("transport: accept on %d: %w", dst, err)
 		}
-		conn.SetReadDeadline(deadline)
-		var hello [4]byte
-		if _, err := io.ReadFull(conn, hello[:]); err != nil {
-			// A stalled or truncated hello: drop the connection and keep
-			// accepting — unless the setup deadline itself expired.
+		src, err := AcceptHello(conn, t.n, deadline)
+		if err != nil {
+			// A malformed, mismatched or truncated hello: drop the
+			// connection and keep accepting — unless the setup deadline
+			// itself expired.
 			conn.Close()
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
 				return fmt.Errorf("transport: hello on %d: %w", dst, err)
 			}
 			continue
 		}
-		src := int(binary.LittleEndian.Uint32(hello[:]))
-		if src < 0 || src >= t.n || src == dst || t.inbox[dst][src] != nil {
+		if src == dst || t.inbox[dst][src] != nil {
 			conn.Close()
 			continue
 		}
-		conn.SetReadDeadline(time.Time{})
 		t.inbox[dst][src] = conn
 		t.readers[dst][src] = bufio.NewReader(conn)
 		need--
@@ -316,14 +311,13 @@ func writeTerminator(conn net.Conn, seq uint32) error {
 	return err
 }
 
-// readRound reads one round's records from br: at most one frame followed by
-// the round terminator, all stamped with sequence number want. Records from
-// earlier rounds (leftovers of an aborted attempt) are drained silently;
-// corrupted headers trigger a bounded scan for the next record boundary. It
-// returns the frame (nil if the round carried nothing).
-func (t *TCPLoopback) readRound(br *bufio.Reader, want uint32) ([]byte, error) {
-	var frame []byte
-	seen := false
+// readRecords reads one round's records from br: data frames followed by the
+// round terminator, all stamped with sequence number want. Each in-round
+// frame's payload is handed to onFrame (which may reject it with an error).
+// Records from earlier rounds (leftovers of an aborted attempt) are drained
+// silently; corrupted headers trigger a bounded scan for the next record
+// boundary.
+func readRecords(br *bufio.Reader, want uint32, maxFrame int, onFrame func(payload []byte) error) error {
 	skipped := 0
 	resync := func(n int) error {
 		skipped += n
@@ -336,11 +330,11 @@ func (t *TCPLoopback) readRound(br *bufio.Reader, want uint32) ([]byte, error) {
 	for {
 		hdr, err := br.Peek(recordHdrLen)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
 			if err := resync(1); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
@@ -352,24 +346,24 @@ func (t *TCPLoopback) readRound(br *bufio.Reader, want uint32) ([]byte, error) {
 				// A record that looks like a terminator but fails its
 				// header CRC: corruption that preserved the magic.
 				if err := resync(1); err != nil {
-					return nil, err
+					return err
 				}
 				continue
 			}
 			br.Discard(recordHdrLen)
 			if seq == want {
-				return frame, nil
+				return nil
 			}
 			if seqAfter(seq, want) {
-				return nil, fmt.Errorf("terminator from future round %d while reading round %d", seq, want)
+				return fmt.Errorf("terminator from future round %d while reading round %d", seq, want)
 			}
 			continue // stale terminator: drain and keep reading
 		}
-		if int64(size) > int64(t.cfg.MaxFrame) {
+		if int64(size) > int64(maxFrame) {
 			// A corrupt length header is a resync condition, not an
 			// allocation request.
 			if err := resync(1); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
@@ -377,27 +371,45 @@ func (t *TCPLoopback) readRound(br *bufio.Reader, want uint32) ([]byte, error) {
 		br.Discard(recordHdrLen)
 		if seq != want {
 			if seqAfter(seq, want) {
-				return nil, fmt.Errorf("frame from future round %d while reading round %d", seq, want)
+				return fmt.Errorf("frame from future round %d while reading round %d", seq, want)
 			}
 			// Stale frame from an aborted round: drain its payload.
 			if _, err := br.Discard(int(size)); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, err
+			return err
 		}
 		if crc32.Update(hdrCRC, crc32.IEEETable, payload) != crc {
-			return nil, fmt.Errorf("frame crc mismatch in round %d", want)
+			return fmt.Errorf("frame crc mismatch in round %d", want)
 		}
+		if err := onFrame(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// readRound reads one round's records from br: at most one frame followed by
+// the round terminator, all stamped with sequence number want. It returns
+// the frame (nil if the round carried nothing).
+func (t *TCPLoopback) readRound(br *bufio.Reader, want uint32) ([]byte, error) {
+	var frame []byte
+	seen := false
+	err := readRecords(br, want, t.cfg.MaxFrame, func(payload []byte) error {
 		if seen {
-			return nil, errors.New("two frames in one round")
+			return errors.New("two frames in one round")
 		}
 		seen = true
 		frame = payload
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return frame, nil
 }
 
 // seqAfter reports whether a is a later sequence number than b, tolerating
