@@ -11,6 +11,7 @@ package aacc
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"aacc/internal/anytime"
@@ -46,12 +47,22 @@ func benchAddition(b *testing.B, x int) *workload.Addition {
 
 func benchEngine(b *testing.B, g *graph.Graph) *core.Engine {
 	b.Helper()
-	e, err := core.New(g, core.Options{P: benchP, Seed: benchSeed, Partitioner: partition.Multilevel{Seed: benchSeed}})
+	return benchEngineWorkers(b, g, 1)
+}
+
+func benchEngineWorkers(b *testing.B, g *graph.Graph, workers int) *core.Engine {
+	b.Helper()
+	e, err := core.New(g, core.Options{P: benchP, Seed: benchSeed, Partitioner: partition.Multilevel{Seed: benchSeed}, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return e
 }
+
+// benchWorkerCounts is the cores-scaling series the worker-pool benchmarks
+// sweep; scripts/bench_baseline.sh records the host's usable cores next to
+// the results so a 1-CPU run's flat curve is interpretable.
+var benchWorkerCounts = []int{1, 2, 4, 8}
 
 func mustRun(b *testing.B, e *core.Engine) {
 	b.Helper()
@@ -303,6 +314,58 @@ func BenchmarkAblationIAPhase(b *testing.B) {
 	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
 	for i := 0; i < b.N; i++ {
 		_ = benchEngine(b, g.Clone()) // New runs DD + IA
+	}
+	b.ReportMetric(float64(g.NumVertices())*float64(b.N)/b.Elapsed().Seconds(), "vertices/sec")
+}
+
+// BenchmarkIAParallel sweeps the worker pool over the IA phase (one local
+// Dijkstra per vertex — the embarrassingly parallel end of the engine).
+func BenchmarkIAParallel(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = benchEngineWorkers(b, g.Clone(), w)
+			}
+			b.ReportMetric(float64(g.NumVertices())*float64(b.N)/b.Elapsed().Seconds(), "vertices/sec")
+		})
+	}
+}
+
+// BenchmarkInstallRelaxParallel sweeps the worker pool over the first
+// (heaviest) RC step, whose cost is dominated by the install/relax phase.
+func BenchmarkInstallRelaxParallel(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := benchEngineWorkers(b, g.Clone(), w)
+				b.StartTimer()
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Workers sweeps the worker pool over the full Figure-4 anytime
+// cell (IA + partial steps + vertex addition + reconvergence), the end-to-end
+// cores-scaling series the baseline records.
+func BenchmarkFig4Workers(b *testing.B) {
+	add := benchAddition(b, 16)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := benchEngineWorkers(b, add.Base.Clone(), w)
+				for s := 0; s < 4 && !e.Converged(); s++ {
+					e.Step()
+				}
+				if _, err := e.ApplyVertexAdditions(cloneBatch(add.Batch), &core.RoundRobinPS{}); err != nil {
+					b.Fatal(err)
+				}
+				mustRun(b, e)
+			}
+		})
 	}
 }
 

@@ -15,7 +15,7 @@
 // exchanging over real sockets (every process needs the same graph and
 // analysis flags):
 //
-//	aacc -role coordinator -listen 127.0.0.1:4700 -workers 2 -n 4000 -p 16
+//	aacc -role coordinator -listen 127.0.0.1:4700 -cluster-workers 2 -n 4000 -p 16
 //	aacc -role worker -coordinator 127.0.0.1:4700 -n 4000 -p 16
 //	aacc -role worker -coordinator 127.0.0.1:4700 -n 4000 -p 16
 package main

@@ -23,10 +23,21 @@ import (
 // recycled underneath a live snapshot) — and the final state must equal the
 // sequential oracle on the mutated graph.
 func TestSessionStress(t *testing.T) {
+	sessionStress(t, core.Options{P: 4, Seed: 7})
+}
+
+// TestSessionStressParallelWorkers is the same stress run with an
+// intra-processor worker pool: the engine's sharded IA/relax/reseed paths run
+// under the race detector against concurrent snapshot readers.
+func TestSessionStressParallelWorkers(t *testing.T) {
+	sessionStress(t, core.Options{P: 4, Seed: 7, Workers: 4})
+}
+
+func sessionStress(t *testing.T, opts core.Options) {
 	const readers = 4
 	g := gen.BarabasiAlbert(200, 2, 13, gen.Config{})
 	mirror := g.Clone()
-	s := mustSession(t, g, Options{Engine: core.Options{P: 4, Seed: 7}})
+	s := mustSession(t, g, Options{Engine: opts})
 
 	ctx, cancelReaders := context.WithCancel(context.Background())
 	var wg sync.WaitGroup

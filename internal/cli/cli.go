@@ -207,7 +207,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		role       = fs.String("role", "", "multi-process deployment role: coordinator or worker (default: single-process)")
 		listenAddr = fs.String("listen", "", "coordinator: control listen address (required); worker: peer-mesh listen address (default 127.0.0.1:0)")
 		coordAddr  = fs.String("coordinator", "", "worker: the coordinator's control address")
-		workers    = fs.Int("workers", 0, "coordinator: number of worker processes to admit before the analysis starts")
+		poolSize   = fs.Int("workers", goruntime.GOMAXPROCS(0), "intra-processor worker-pool size: cores used per engine/worker process (results are bit-identical at any value; 1 = sequential)")
+		clusterW   = fs.Int("cluster-workers", 0, "coordinator: number of worker processes to admit before the analysis starts")
 		roundTO    = fs.Duration("round-timeout", 30*time.Second, "multi-process: exchange round timeout dictated to the worker mesh")
 		stepIv     = fs.Duration("step-interval", 0, "serve mode: idle this long between rc steps (throttles a live analysis)")
 	)
@@ -249,8 +250,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		if *listenAddr == "" {
 			return fmt.Errorf("-role coordinator requires -listen (the control address workers dial)")
 		}
-		if *workers < 1 {
-			return fmt.Errorf("-role coordinator requires -workers >= 1")
+		if *clusterW < 1 {
+			return fmt.Errorf("-role coordinator requires -cluster-workers >= 1")
 		}
 		if *changes != "" && !*serve {
 			return fmt.Errorf("-changes on a coordinator requires -serve (batch replay drives a single-process engine)")
@@ -349,8 +350,11 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		tracer = sinks
 	}
 
+	if *poolSize < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *poolSize)
+	}
 	if *role == "worker" {
-		return workerRole(logger, g, part, *p, *seed, *listenAddr, *coordAddr, *roundTO, tracer)
+		return workerRole(logger, g, part, *p, *seed, *poolSize, *listenAddr, *coordAddr, *roundTO, tracer)
 	}
 
 	var replayer *changelog.Replayer
@@ -369,7 +373,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		logger.Info("replaying change log", "batches", len(cl.Batches), "path", *changes)
 	}
 
-	eopts := core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Tracer: tracer, Obs: reg}
+	eopts := core.Options{P: *p, Seed: *seed, Partitioner: part, Runtime: rtKind, Workers: *poolSize, Tracer: tracer, Obs: reg}
 	if *faultRate > 0 {
 		rate, fseed := *faultRate, *faultSeed
 		eopts.RuntimeFactory = func(p int, model logp.Params) (runtime.Runtime, error) {
@@ -392,9 +396,9 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		if lerr != nil {
 			return lerr
 		}
-		logger.Info("waiting for workers", "listen", ln.Addr(), "workers", *workers)
+		logger.Info("waiting for workers", "listen", ln.Addr(), "workers", *clusterW)
 		coord, err = dist.NewCoordinator(ln, g, dist.Config{
-			Workers:     *workers,
+			Workers:     *clusterW,
 			P:           *p,
 			Seed:        *seed,
 			Partitioner: part.Name(),
@@ -684,7 +688,7 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 // receives SIGINT/SIGTERM (also a clean exit — the coordinator notices the
 // dropped connection and degrades; a restarted worker rejoins and catches
 // up from the replayed mutation log).
-func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner, p int, seed int64, listen, coordAddr string, roundTO time.Duration, tracer core.Tracer) error {
+func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner, p int, seed int64, poolWorkers int, listen, coordAddr string, roundTO time.Duration, tracer core.Tracer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if listen == "" {
@@ -702,6 +706,7 @@ func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner,
 		P:            p,
 		Seed:         seed,
 		Partitioner:  part,
+		PoolWorkers:  poolWorkers,
 		Transport:    transport.Config{RoundTimeout: roundTO},
 		Tracer:       tracer,
 		Logger:       logger,

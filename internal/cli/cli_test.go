@@ -22,6 +22,28 @@ func TestAnalysisSmallRun(t *testing.T) {
 	}
 }
 
+// TestAnalysisWorkersPool runs the same analysis sequentially and with a
+// 4-core pool: the top-k report (the user-visible result) must be identical,
+// and an invalid pool size must be rejected.
+func TestAnalysisWorkersPool(t *testing.T) {
+	report := func(workers string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := Analysis([]string{"-n", "120", "-p", "4", "-top", "5", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		return s[strings.Index(s, "top 5"):strings.Index(s, "rc steps")]
+	}
+	if seq, par := report("1"), report("4"); seq != par {
+		t.Fatalf("pooled report diverged:\nworkers=1:\n%s\nworkers=4:\n%s", seq, par)
+	}
+	var out bytes.Buffer
+	if err := Analysis([]string{"-n", "50", "-workers", "0"}, &out); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("workers=0 not rejected: %v", err)
+	}
+}
+
 func TestAnalysisHarmonicAnytime(t *testing.T) {
 	var out bytes.Buffer
 	err := Analysis([]string{"-n", "100", "-p", "4", "-harmonic", "-anytime", "-gen", "er"}, &out)

@@ -36,9 +36,18 @@ func TestExtPendingNoteDedup(t *testing.T) {
 // steadyStateEngine returns a converged engine plus a boundary vertex owned
 // by some processor with at least one peer holding its snapshot.
 func steadyStateEngine(t *testing.T) (*Engine, graph.ID) {
+	return steadyStateEngineWorkers(t, 1)
+}
+
+// steadyStateEngineWorkers is steadyStateEngine with an intra-processor
+// worker pool of the given size.
+func steadyStateEngineWorkers(t *testing.T, workers int) (*Engine, graph.ID) {
 	t.Helper()
 	g := gen.BarabasiAlbert(300, 2, 11, gen.Config{MaxWeight: 4})
-	e := mustEngine(t, g, 4)
+	e, err := New(g, Options{P: 4, Seed: 7, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mustRun(t, e)
 	for _, v := range e.g.Vertices() {
 		if e.peerMask(v) != 0 {
@@ -89,4 +98,45 @@ func TestStepAllocsSteadyState(t *testing.T) {
 		t.Errorf("steady-state Step allocates %.1f times per run, budget %d", allocs, budget)
 	}
 	t.Logf("steady-state Step: %.1f allocs/run (budget %d)", allocs, budget)
+}
+
+// TestStepAllocsSteadyStateWorkers is the worker-pool alloc pin: the sharded
+// data path itself (per-worker arenas, source snapshots, record merges) must
+// stay amortised to zero, so the only addition over the sequential budget is
+// the constant goroutine fan-out of runShards — P procs × (workers-1) spawns
+// plus a closure each per relax. Nothing may scale with rows or width.
+func TestStepAllocsSteadyStateWorkers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins only hold without -race")
+	}
+	e, v := steadyStateEngineWorkers(t, 4)
+	pr := e.procs[e.Owner(v)]
+	cols := []int32{0}
+	allocs := testing.AllocsPerRun(50, func() {
+		pr.noteRowChanged(e, v, cols, false)
+		e.Step()
+	})
+	const budget = 60 + 4*3*3 // sequential budget + P × (workers-1) spawns × ~3 allocs each
+	if allocs > budget {
+		t.Errorf("steady-state Step (workers=4) allocates %.1f times per run, budget %d", allocs, budget)
+	}
+	t.Logf("steady-state Step (workers=4): %.1f allocs/run (budget %d)", allocs, budget)
+}
+
+// TestCollectMailAllocsSteadyStateWorkers pins collectMail under the pool:
+// collect is not sharded, so the zero-alloc pin must hold unchanged.
+func TestCollectMailAllocsSteadyStateWorkers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins only hold without -race")
+	}
+	e, v := steadyStateEngineWorkers(t, 4)
+	pr := e.procs[e.Owner(v)]
+	cols := []int32{0}
+	allocs := testing.AllocsPerRun(50, func() {
+		pr.noteRowChanged(e, v, cols, false)
+		pr.collectMail(e)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state collectMail (workers=4) allocates %.1f times per run, want 0", allocs)
+	}
 }

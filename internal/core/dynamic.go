@@ -84,7 +84,12 @@ func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
 // broadcast, as in Fig. 3 line 22).
 func (e *Engine) relaxEdgeBatch(edges []graph.EdgeTriple, endRows map[graph.ID][]int32) {
 	e.rt.Parallel(func(p int) {
-		e.procs[p].relaxThroughEdges(e, edges, endRows)
+		pr := e.procs[p]
+		if e.workers > 1 {
+			pr.relaxThroughEdgesShards(e, edges, endRows)
+			return
+		}
+		pr.relaxThroughEdges(e, edges, endRows)
 	})
 }
 
@@ -201,6 +206,10 @@ func (e *Engine) invalidateAndReseed(batch []graph.EdgeTriple, endRows map[graph
 	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.ensureScratch(e.width)
+		if e.workers > 1 {
+			refresh[p] = pr.invalidateAndReseedShards(e, batch, endRows)
+			return
+		}
 		pristine := make([]int32, e.width)
 		sweep := func(row []int32, self graph.ID) int {
 			copy(pristine, row)
@@ -323,6 +332,10 @@ func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
 	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.ensureScratch(e.width)
+		if e.workers > 1 {
+			refresh[p] = pr.eagerDeleteShards(e, suspect)
+			return
+		}
 		var hit []graph.ID
 		for _, x := range pr.local {
 			row := pr.store.Row(x)
@@ -518,6 +531,10 @@ func (e *Engine) ApplyVertexAdditions(batch *VertexBatch, ps ProcessorAssigner) 
 	e.rt.Parallel(func(p int) {
 		pr := e.procs[p]
 		pr.ensureScratch(e.width)
+		if e.workers > 1 {
+			pr.seedNewRowsShards(e, ids, placement, p)
+			return
+		}
 		for i, owner := range placement {
 			if owner != p {
 				continue

@@ -84,6 +84,16 @@ type Options struct {
 	// entirely metric-free — no timestamps, no atomics (see
 	// internal/obs for the overhead rules).
 	Obs *obs.Registry
+	// Workers sets the intra-processor worker-pool size: the hot per-vertex
+	// loops (IA Dijkstra, the install/relax scans, the reseed sweeps of
+	// deletions, vertex additions, repartitioning and failure recovery) are
+	// sharded across this many goroutines per processor, each with its own
+	// scratch/heap arena. 1 (the default) runs today's sequential path; the
+	// CLI defaults to runtime.GOMAXPROCS. Shard assignment and merge order
+	// are fixed, so results are deterministic at any worker count and
+	// bit-identical to sequential mode at every convergence point (see
+	// DESIGN.md §6, "Parallel-mode determinism").
+	Workers int
 	// EagerLocalRefresh enables the paper's optional recombination
 	// strategy of refreshing all local DVs against each other every RC
 	// step (the Floyd–Warshall local update, O((n/P)²·n) here). It can
@@ -103,6 +113,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Model == (logp.Params{}) {
 		o.Model = logp.GigabitCluster(o.P)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -124,6 +137,9 @@ type Engine struct {
 	width int // current global ID-space size
 	step  int
 	conv  bool
+	// workers is the intra-processor pool size (Options.Workers, >= 1).
+	// 1 selects the sequential data path at every gate.
+	workers int
 	// maskCache memoises peerMask per vertex (maskValid[v] gates it);
 	// mutation paths that change a vertex's neighbourhood or ownership
 	// invalidate the affected entries. During parallel phases each vertex's
@@ -207,6 +223,15 @@ type proc struct {
 	// (rollbackCollect) instead of silently dropping their updates. Reused
 	// across steps.
 	roundRows []graph.ID
+
+	// ws are the per-worker scratch arenas of the intra-processor pool
+	// (Workers > 1): each shard worker owns one, so workers never share
+	// pr.scratch/pr.heap. Sized by ensureWorkers, amortised across calls.
+	ws []workerScratch
+	// snapRows are pooled full-row value snapshots of local sources taken
+	// for a parallel relax (shard workers must not read a row another
+	// worker writes); recycled into rowPool at the end of each relax.
+	snapRows [][]int32
 }
 
 // extPending records how a held snapshot changed since the last relax.
@@ -329,15 +354,17 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: building runtime: %w", err)
 	}
 	e := &Engine{
-		g:    g,
-		opts: opts,
-		rt:   rt,
+		g:       g,
+		opts:    opts,
+		rt:      rt,
+		workers: opts.Workers,
 	}
 	if pa, ok := rt.(runtime.Partial); ok {
 		e.partial = pa
 	}
 	if opts.Obs != nil {
 		e.om = newEngineObs(opts.Obs)
+		e.om.workers.Set(float64(e.workers))
 		if ob, ok := rt.(runtime.Observable); ok {
 			ob.SetObs(opts.Obs)
 		}
@@ -397,6 +424,29 @@ func (e *Engine) initialize() {
 		pr := e.procs[p]
 		sort.Slice(pr.local, func(i, j int) bool { return pr.local[i] < pr.local[j] })
 		pr.ensureScratch(e.width)
+		if e.workers > 1 {
+			// Sharded IA: store rows and bookkeeping are created in a
+			// sequential pre-pass (map writes, sparse sets), then the
+			// Dijkstra sweeps — pure compute into disjoint rows — fan out
+			// across the worker pool.
+			for _, v := range pr.local {
+				pr.store.AddRow(v)
+				// IA rows are sent whole, but are not relaxation sources:
+				// local closure means they offer nothing to each other.
+				pr.dirtySend.Add(v)
+				pr.state(v).sendFull = true
+			}
+			pr.ensureWorkers(e)
+			e.runShards(len(pr.local), e.shardImbIA(), func(w, lo, hi int) {
+				ws := &pr.ws[w]
+				ws.ensure(e.width)
+				for _, v := range pr.local[lo:hi] {
+					sssp.DijkstraLocal(e.g, v, pr.isLocal, ws.scratch, ws.heap)
+					copy(pr.store.Row(v), ws.scratch)
+				}
+			})
+			return
+		}
 		for _, v := range pr.local {
 			pr.store.AddRow(v)
 			sssp.DijkstraLocal(e.g, v, pr.isLocal, pr.scratch, pr.heap)
@@ -733,6 +783,9 @@ func (e *Engine) Assignment() partition.Assignment {
 
 // P returns the number of simulated processors.
 func (e *Engine) P() int { return e.opts.P }
+
+// Workers returns the intra-processor worker-pool size (>= 1).
+func (e *Engine) Workers() int { return e.workers }
 
 // Reinitialize implements the paper's baseline-restart comparison method:
 // it throws away all partial results and re-runs DD and IA on the current

@@ -94,6 +94,13 @@ func (e *Engine) FailProcessor(p int) (*FailureRecovery, error) {
 	// with a fresh local Dijkstra — and queue everything for exchange.
 	start := time.Now()
 	pr.ensureScratch(e.width)
+	if e.workers > 1 {
+		pr.recoverRowsShards(e, recovered, rec)
+		e.rt.AccountCompute(time.Since(start))
+		e.trace("failure", "processor %d lost %d rows, %d salvaged from snapshots", p, rec.RowsLost, rec.RowsFromSnapshots)
+		e.conv = false
+		return rec, nil
+	}
 	for _, v := range pr.local {
 		pr.store.AddRow(v)
 		row := pr.store.Row(v)

@@ -26,13 +26,30 @@ type engineObs struct {
 	step      *obs.Gauge
 	residual  *obs.Gauge
 	converged *obs.Gauge
+	workers   *obs.Gauge
+
+	// Per-phase shard-imbalance histograms (max/mean shard wall-clock
+	// ratio), observed by runShards when Workers > 1.
+	imbIA      *obs.Histogram
+	imbInstall *obs.Histogram
+	imbReseed  *obs.Histogram
 }
+
+// shardImbalanceBuckets is the bucket layout of aacc_engine_shard_imbalance:
+// the max/mean shard time ratio is >= 1 by construction (1 = perfectly
+// balanced) and at most the shard count when one shard carries everything.
+var shardImbalanceBuckets = []float64{1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}
 
 func newEngineObs(reg *obs.Registry) *engineObs {
 	phase := func(name string) *obs.Histogram {
 		return reg.Histogram("aacc_engine_phase_seconds",
 			"Wall-clock duration of each RC-step phase.",
 			obs.DefDurationBuckets, obs.L("phase", name))
+	}
+	imb := func(name string) *obs.Histogram {
+		return reg.Histogram("aacc_engine_shard_imbalance",
+			"Max/mean shard wall-clock ratio of each worker-pool phase (1 = perfectly balanced; recorded only with Workers > 1).",
+			shardImbalanceBuckets, obs.L("phase", name))
 	}
 	return &engineObs{
 		collect:    phase("collect"),
@@ -49,7 +66,36 @@ func newEngineObs(reg *obs.Registry) *engineObs {
 		step:      reg.Gauge("aacc_engine_step", "Current RC step count."),
 		residual:  reg.Gauge("aacc_engine_residual_rows", "Rows changed by the last RC step — the convergence residual (0 at the fixpoint)."),
 		converged: reg.Gauge("aacc_engine_converged", "1 once the analysis reached its fixpoint, else 0."),
+		workers:   reg.Gauge("aacc_engine_workers", "Configured intra-processor worker-pool size (Options.Workers)."),
+
+		imbIA:      imb("ia"),
+		imbInstall: imb("install_relax"),
+		imbReseed:  imb("reseed"),
 	}
+}
+
+// shardImbIA (and siblings) return the per-phase shard-imbalance histogram,
+// or nil when metrics are disabled — runShards takes no timestamps on nil,
+// keeping the disabled hot path free of clock reads.
+func (e *Engine) shardImbIA() *obs.Histogram {
+	if e.om == nil {
+		return nil
+	}
+	return e.om.imbIA
+}
+
+func (e *Engine) shardImbInstall() *obs.Histogram {
+	if e.om == nil {
+		return nil
+	}
+	return e.om.imbInstall
+}
+
+func (e *Engine) shardImbReseed() *obs.Histogram {
+	if e.om == nil {
+		return nil
+	}
+	return e.om.imbReseed
 }
 
 // observePhase records the time since t into h and returns the new phase

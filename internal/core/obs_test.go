@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"aacc/internal/gen"
+	"aacc/internal/graph"
 	"aacc/internal/obs"
 )
 
@@ -63,6 +64,56 @@ func TestEngineObsInstrumentation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fam := range []string{"aacc_engine_phase_seconds_bucket", "aacc_engine_steps_total", "aacc_transport_bytes_total"} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}
+
+// TestEngineObsWorkerPool checks the worker-pool instruments: the workers
+// gauge reports the configured pool size and the per-phase shard-imbalance
+// histograms record one ratio >= 1 per sharded fan-out (IA at construction,
+// install_relax once per relax with sources).
+func TestEngineObsWorkerPool(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := gen.BarabasiAlbert(150, 2, 7, gen.Config{})
+	e, err := New(g, Options{P: 4, Seed: 7, Obs: reg, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("aacc_engine_workers", "").Value(); got != 4 {
+		t.Errorf("workers gauge = %v, want 4", got)
+	}
+	ia := reg.Histogram("aacc_engine_shard_imbalance", "", nil, obs.L("phase", "ia"))
+	if ia.Count() == 0 {
+		t.Error("ia shard-imbalance histogram saw no observations")
+	}
+	install := reg.Histogram("aacc_engine_shard_imbalance", "", nil, obs.L("phase", "install_relax"))
+	if install.Count() == 0 {
+		t.Error("install_relax shard-imbalance histogram saw no observations")
+	}
+	// Deletions drive the reseed fan-out.
+	var ed [2]graph.ID
+	for _, tr := range e.Graph().Edges() {
+		ed = [2]graph.ID{tr.U, tr.V}
+		break
+	}
+	if err := e.ApplyEdgeDeletions([][2]graph.ID{ed}); err != nil {
+		t.Fatal(err)
+	}
+	reseed := reg.Histogram("aacc_engine_shard_imbalance", "", nil, obs.L("phase", "reseed"))
+	if reseed.Count() == 0 {
+		t.Error("reseed shard-imbalance histogram saw no observations")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"aacc_engine_workers", "aacc_engine_shard_imbalance_bucket"} {
 		if !strings.Contains(sb.String(), fam) {
 			t.Errorf("exposition missing %s", fam)
 		}

@@ -148,11 +148,19 @@ type relaxSource struct {
 	id   graph.ID
 	row  []int32
 	cols []int32
+	// vals, when non-nil, is a value snapshot of the cols entries taken
+	// when the source list was gathered: the parallel relax scans read
+	// (cols, vals) instead of the live row, so shard workers rewriting
+	// local rows can never race a scan (see gatherSourcesSnapshot).
+	vals []int32
 }
 
 // relax performs the recombination update on one processor and returns the
 // number of local rows that changed.
 func (pr *proc) relax(e *Engine) int {
+	if e.workers > 1 {
+		return pr.relaxParallel(e)
+	}
 	sources := pr.gatherSources()
 	if len(sources) == 0 && len(pr.pendingRescan) == 0 {
 		return 0
@@ -242,19 +250,31 @@ func (pr *proc) relaxRowSources(x graph.ID, sources []relaxSource) []int32 {
 		if d >= dv.Inf {
 			continue
 		}
-		if s.cols == nil {
+		switch {
+		case s.cols == nil:
 			changed = dv.ScanFull(row, d, s.row, changed)
-		} else {
+		case s.vals != nil:
+			changed = dv.ScanColVals(row, d, s.cols, s.vals, changed)
+		default:
 			changed = dv.ScanCols(row, d, s.row, s.cols, changed)
 		}
 	}
-	// Rescan cascade. lastScan records d(x,s) at the time source s was
-	// last fully scanned for this row; a further decrease requires
-	// another scan (improvements through s now compose with the shorter
-	// d(x,s)). The queue is seeded from earlier mutations' pending
-	// rescans plus this scan's decreased held-source columns, and each
-	// round only the *newly* decreased columns seed the next, so the
-	// cascade terminates with the row closed under every held source.
+	changed = pr.cascadeRescans(x, row, changed)
+	changed = dedupCols(changed)
+	pr.changedBuf = changed
+	return changed
+}
+
+// cascadeRescans applies the DVR rescan rule to one row until stable.
+// lastScan records d(x,s) at the time source s was last fully scanned for
+// this row; a further decrease requires another scan (improvements through s
+// now compose with the shorter d(x,s)). The queue is seeded from earlier
+// mutations' pending rescans plus the changed held-source columns, and each
+// round only the *newly* decreased columns seed the next, so the cascade
+// terminates with the row closed under every held source. It reads live
+// source rows and must therefore run sequentially — the parallel relax calls
+// it per row in ascending order after the sharded scan barrier.
+func (pr *proc) cascadeRescans(x graph.ID, row []int32, changed []int32) []int32 {
 	queue := pr.rescanBuf[:0]
 	if set := pr.pendingRescan[x]; len(set) > 0 {
 		for s := range set {
@@ -296,8 +316,6 @@ func (pr *proc) relaxRowSources(x graph.ID, sources []relaxSource) []int32 {
 		}
 	}
 	pr.rescanBuf = queue[:0]
-	changed = dedupCols(changed)
-	pr.changedBuf = changed
 	return changed
 }
 

@@ -366,6 +366,10 @@ func (e *Engine) Repartition(batch *VertexBatch) (*RepartitionResult, error) {
 		}
 		clear(pr.pendingRescan)
 		pr.ensureScratch(e.width)
+		if e.workers > 1 {
+			pr.repartitionReseedShards(e, firstNew)
+			return
+		}
 		for _, v := range pr.local {
 			pr.isLocal[v] = true
 			mask := e.peerMask(v)

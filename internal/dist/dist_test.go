@@ -62,8 +62,12 @@ func startWorker(t *testing.T, ctx context.Context, coordAddr, addr string, base
 			P:            testP,
 			Seed:         testSeed,
 			Partitioner:  partition.Multilevel{Seed: testSeed},
-			Transport:    transport.Config{RoundTimeout: 2 * time.Second},
-			DialTimeout:  15 * time.Second,
+			// The pool is local-only parallelism; running every cluster test
+			// with it on proves the sharded paths stay bit-identical to the
+			// sequential single-process oracle across real sockets.
+			PoolWorkers: 2,
+			Transport:   transport.Config{RoundTimeout: 2 * time.Second},
+			DialTimeout: 15 * time.Second,
 		})
 	}()
 	return ln.Addr().String(), done

@@ -34,6 +34,13 @@ type WorkerConfig struct {
 	Seed        int64
 	Partitioner partition.Partitioner
 
+	// PoolWorkers is the intra-process worker-pool size for this worker's
+	// engine shard (core.Options.Workers). It is purely local compute
+	// parallelism: results are bit-identical at any pool size, so workers in
+	// one cluster may use different values and it is not part of the join
+	// handshake.
+	PoolWorkers int
+
 	// Transport configures the peer mesh (the coordinator overrides
 	// RoundTimeout so all workers agree on it).
 	Transport transport.Config
@@ -148,6 +155,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		P:           cfg.P,
 		Seed:        cfg.Seed,
 		Partitioner: cfg.Partitioner,
+		Workers:     cfg.PoolWorkers,
 		Tracer:      cfg.Tracer,
 		Obs:         cfg.Obs,
 		RuntimeFactory: func(p int, model logp.Params) (runtime.Runtime, error) {

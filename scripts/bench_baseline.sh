@@ -15,12 +15,20 @@ OUT="${2:-BENCH_core.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Usable cores, recorded next to the results: the worker-pool scaling series
+# (BenchmarkIAParallel/W*, …) is only interpretable against them — on a
+# single-core host the curve is flat by construction.
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+GMP="${GOMAXPROCS:-$NCPU}"
+
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
-awk -v benchtime="$BENCHTIME" '
+awk -v benchtime="$BENCHTIME" -v ncpu="$NCPU" -v gmp="$GMP" '
 BEGIN {
     print "{"
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"num_cpu\": %d,\n", ncpu
+    printf "  \"gomaxprocs\": %d,\n", gmp
     print  "  \"benchmarks\": ["
     first = 1
 }

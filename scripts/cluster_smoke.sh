@@ -38,7 +38,7 @@ go build -o "$BIN" ./cmd/aacc
 W0=$!
 "$BIN" -role worker -coordinator "$CTRL" $GRAPH >"$LOGDIR/w1.log" 2>&1 &
 W1=$!
-"$BIN" -role coordinator -listen "$CTRL" -workers 2 $GRAPH -top 5 \
+"$BIN" -role coordinator -listen "$CTRL" -cluster-workers 2 $GRAPH -top 5 \
     >"$LOGDIR/cluster.log" 2>&1 || {
     echo "cluster_smoke: batch cluster run failed" >&2
     tail -20 "$LOGDIR/cluster.log" "$LOGDIR/w0.log" "$LOGDIR/w1.log" >&2
@@ -69,7 +69,7 @@ W0=$!
 "$BIN" -role worker -coordinator "$CTRL" $GRAPH -round-timeout 2s \
     >"$LOGDIR/w1b.log" 2>&1 &
 W1=$!
-"$BIN" -role coordinator -listen "$CTRL" -workers 2 $GRAPH -round-timeout 2s \
+"$BIN" -role coordinator -listen "$CTRL" -cluster-workers 2 $GRAPH -round-timeout 2s \
     -serve -step-interval 400ms -obs-addr "$OBS" -linger 120s -top 5 \
     >"$LOGDIR/serve.log" 2>&1 &
 CO=$!
