@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"aacc/internal/anytime"
@@ -576,6 +577,124 @@ func BenchmarkStepObsOverhead(b *testing.B) {
 	}
 	b.Run("RegistryOff", func(b *testing.B) { run(b, nil) })
 	b.Run("RegistryOn", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}
+
+// BenchmarkIngest measures sustained mutation throughput through the anytime
+// session at equal bounded staleness (every drained batch publishes an
+// epoch, so readers never see state older than one drain). PerOp is the
+// one-op-at-a-time baseline — each mutation waits for its own apply and
+// epoch publish. Pipeline streams the same ops through the asynchronous
+// ingest queue, where the aggressive coalescing tier dedupes the queued
+// run to the last write per edge and the drain amortises the publish.
+//
+// The gated stream is hot-edge weight churn — a small working set of edges
+// whose weights are rewritten continuously, the telemetry-style workload the
+// issue's coalescing rules target. Per-op the engine pays a full relax (or
+// invalidation) sweep plus a snapshot publish for every write; coalesced,
+// only the last write per edge ever reaches the kernel. The Churn variant
+// streams the mixed add/delete/reweight workload under the default exact
+// tier for reference (eager deletions pay their cost in the sweep itself,
+// which batching cannot hide), with no speedup gate attached.
+func BenchmarkIngest(b *testing.B) {
+	const (
+		streamLen = 256
+		hotSet    = 16
+	)
+	base := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	rng := rand.New(rand.NewSource(benchSeed))
+	hot := make([][2]graph.ID, 0, hotSet)
+	for len(hot) < hotSet {
+		u := graph.ID(rng.Intn(benchN))
+		v := graph.ID(rng.Intn(benchN))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if base.HasEdge(u, v) {
+			continue
+		}
+		base.AddEdge(u, v, 2)
+		hot = append(hot, [2]graph.ID{u, v})
+	}
+	ops := make([]core.Mutation, streamLen)
+	for i := range ops {
+		p := hot[i%hotSet]
+		ops[i] = core.WeightSet(p[0], p[1], 1+rng.Int31n(8))
+	}
+	newSession := func(b *testing.B, mode core.CoalesceMode) *anytime.Session {
+		b.Helper()
+		s, err := anytime.New(context.Background(), base.Clone(), anytime.Options{
+			Engine:      core.Options{P: benchP, Seed: benchSeed, Partitioner: partition.Multilevel{Seed: benchSeed}},
+			StartPaused: true, // isolate the mutation pipeline from rc stepping
+			IngestQueue: streamLen,
+			Coalesce:    mode,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("PerOp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := newSession(b, core.CoalesceAggressive) // a singleton drain coalesces to itself
+			b.StartTimer()
+			for _, m := range ops {
+				if err := s.ApplyBatch(&core.Batch{Ops: []core.Mutation{m}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(streamLen)*float64(b.N)/b.Elapsed().Seconds(), "mutations/sec")
+	})
+	b.Run("Pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := newSession(b, core.CoalesceAggressive)
+			b.StartTimer()
+			for _, m := range ops {
+				if err := s.Enqueue(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Flush(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(streamLen)*float64(b.N)/b.Elapsed().Seconds(), "mutations/sec")
+	})
+	b.Run("Churn", func(b *testing.B) {
+		churn := workload.NewChurn(base, 4, benchSeed)
+		mixed := make([]core.Mutation, streamLen)
+		for i := range mixed {
+			mixed[i] = churn.Next()
+		}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := newSession(b, core.CoalesceExact)
+			b.StartTimer()
+			for _, m := range mixed {
+				if err := s.Enqueue(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Flush(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(streamLen)*float64(b.N)/b.Elapsed().Seconds(), "mutations/sec")
+	})
 }
 
 // BenchmarkSnapshotQuery measures the anytime session's lock-free read path:

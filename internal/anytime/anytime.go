@@ -58,6 +58,11 @@ type Engine interface {
 	Distances() map[graph.ID][]int32
 	Close() error
 
+	// ApplyBatch applies an ordered mutation batch, stopping at the first
+	// failing op with a *core.BatchError. The session's ingestion pipeline
+	// routes every mutation through this single entry point.
+	ApplyBatch(b *core.Batch) error
+
 	ApplyEdgeAdditions(edges []graph.EdgeTriple) error
 	ApplyEdgeDeletions(pairs [][2]graph.ID) error
 	ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error
@@ -104,6 +109,24 @@ type Options struct {
 	// rate-limit a live analysis — or to hold a cluster in-flight long
 	// enough to observe mid-run behaviour deterministically.
 	StepInterval time.Duration
+
+	// IngestQueue bounds the asynchronous mutation queue (default 256,
+	// minimum 1). The orchestration goroutine drains everything queued at
+	// each step boundary into one coalesced batch apply and one epoch
+	// publication.
+	IngestQueue int
+
+	// IngestPolicy selects the backpressure behaviour of a full queue:
+	// BlockOnFull (default) blocks the enqueuer until a slot frees,
+	// ErrorOnFull fails fast with ErrQueueFull. The policy applies to
+	// every mutation entry point — Enqueue and the synchronous Apply*
+	// shims alike.
+	IngestPolicy QueuePolicy
+
+	// Coalesce selects the dequeue-time coalescing tier (default
+	// core.CoalesceExact — only bit-identity-preserving merges; see
+	// core.CoalesceMode).
+	Coalesce core.CoalesceMode
 }
 
 // Snapshot is an immutable view of the analysis at one step boundary.
@@ -127,6 +150,12 @@ type Snapshot struct {
 	// NumVertices and NumEdges describe the graph at the snapshot step.
 	NumVertices int
 	NumEdges    int
+	// AppliedOps counts the mutations consumed from the ingest queue over
+	// the session's lifetime up to this snapshot (each was applied, or
+	// rejected without mutating). Together with Step it identifies the
+	// exact schedule position, which is what the coalesced-vs-oracle
+	// bit-identity tests replay against.
+	AppliedOps int
 	// Stats are the cumulative cluster statistics at the snapshot step.
 	Stats cluster.Stats
 
@@ -175,12 +204,13 @@ func (sn *Snapshot) Scores() centrality.Scores {
 	return sn.scores
 }
 
-// command is one unit of serialized work for the orchestration goroutine.
+// command is one unit of serialized control work (pause/resume) for the
+// orchestration goroutine. Mutations do not travel this channel: they enter
+// the bounded ingest queue (ingest.go) and apply in coalesced batches.
 type command struct {
-	name     string
-	mutation bool
-	run      func() error
-	done     chan error
+	name string
+	run  func() error
+	done chan error
 }
 
 // Session owns an Engine on a dedicated orchestration goroutine.
@@ -193,6 +223,7 @@ type Session struct {
 
 	cancel context.CancelFunc
 	cmds   chan *command
+	mq     chan *ingestOp // bounded mutation queue (ingest.go)
 	done   chan struct{}
 	cur    atomic.Pointer[Snapshot]
 
@@ -211,6 +242,7 @@ type Session struct {
 	sincePublish int
 	epoch        int
 	baseStep     int
+	appliedOps   int
 }
 
 // Failure backoff bounds: after a failed RC step the loop waits before
@@ -246,6 +278,9 @@ func NewWith(ctx context.Context, eng Engine, opts Options) (*Session, error) {
 	if opts.PublishEvery < 1 {
 		opts.PublishEvery = 1
 	}
+	if opts.IngestQueue < 1 {
+		opts.IngestQueue = DefaultIngestQueue
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	s := &Session{
 		eng:     eng,
@@ -253,6 +288,7 @@ func NewWith(ctx context.Context, eng Engine, opts Options) (*Session, error) {
 		tracer:  opts.Engine.Tracer,
 		cancel:  cancel,
 		cmds:    make(chan *command),
+		mq:      make(chan *ingestOp, opts.IngestQueue),
 		done:    make(chan struct{}),
 		paused:  opts.StartPaused,
 		started: time.Now(),
@@ -322,21 +358,21 @@ func (s *Session) Wait(ctx context.Context) (*Snapshot, error) {
 
 // Pause stops stepping after the current step; mutations still apply.
 func (s *Session) Pause() error {
-	return s.do("pause", false, func() error { s.paused = true; return nil })
+	return s.do("pause", func() error { s.paused = true; return nil })
 }
 
 // Resume restarts stepping after Pause (or Options.StartPaused).
 func (s *Session) Resume() error {
-	return s.do("resume", false, func() error { s.paused = false; return nil })
+	return s.do("resume", func() error { s.paused = false; return nil })
 }
 
 // do enqueues a command and blocks until the orchestration goroutine ran it.
-func (s *Session) do(name string, mutation bool, run func() error) error {
+func (s *Session) do(name string, run func() error) error {
 	if s.om != nil {
 		s.om.queueDepth.Add(1)
 		defer s.om.queueDepth.Add(-1)
 	}
-	cmd := &command{name: name, mutation: mutation, run: run, done: make(chan error, 1)}
+	cmd := &command{name: name, run: run, done: make(chan error, 1)}
 	select {
 	case s.cmds <- cmd:
 	case <-s.done:
@@ -356,101 +392,63 @@ func (s *Session) do(name string, mutation bool, run func() error) error {
 	}
 }
 
-// ApplyEdgeAdditions enqueues an edge-addition batch; it is applied at the
-// next step boundary and visible in the current snapshot once this returns.
-// The input slice is copied at enqueue time and may be reused by the caller.
+// ApplyEdgeAdditions enqueues an edge-addition batch and blocks until it was
+// applied at a step boundary and is visible in the current snapshot. The
+// input slice is copied at enqueue time and may be reused by the caller.
 func (s *Session) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
-	for _, ed := range edges {
-		if ed.U < 0 || ed.V < 0 || ed.U == ed.V || ed.W < 1 {
-			return fmt.Errorf("anytime: bad edge addition {%d,%d,%d}", ed.U, ed.V, ed.W)
-		}
-	}
-	batch := append([]graph.EdgeTriple(nil), edges...)
-	return s.do(fmt.Sprintf("edge-add x%d", len(batch)), true, func() error {
-		return s.eng.ApplyEdgeAdditions(batch)
-	})
+	m := core.EdgeAdd(edges...)
+	return s.applyWait(&m)
 }
 
-// ApplyEdgeDeletions enqueues a barrier-mode edge-deletion batch. The engine
-// first converges the current analysis (those internal RC steps count toward
-// the step budget), then removes the edges and invalidates stale bounds.
+// ApplyEdgeDeletions enqueues a barrier-mode edge-deletion batch and blocks
+// until applied. The engine first converges the current analysis (those
+// internal RC steps count toward the step budget), then removes the edges
+// and invalidates stale bounds.
 func (s *Session) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
-	batch := append([][2]graph.ID(nil), pairs...)
-	return s.do(fmt.Sprintf("edge-delete x%d (barrier)", len(batch)), true, func() error {
-		return s.eng.ApplyEdgeDeletions(batch)
-	})
+	m := core.EdgeDelete(pairs...)
+	return s.applyWait(&m)
 }
 
-// ApplyEdgeDeletionsEager enqueues a barrier-free edge-deletion batch.
+// ApplyEdgeDeletionsEager enqueues a barrier-free edge-deletion batch and
+// blocks until applied.
 func (s *Session) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
-	batch := append([][2]graph.ID(nil), pairs...)
-	return s.do(fmt.Sprintf("edge-delete x%d (eager)", len(batch)), true, func() error {
-		return s.eng.ApplyEdgeDeletionsEager(batch)
-	})
+	m := core.EdgeDeleteEager(pairs...)
+	return s.applyWait(&m)
 }
 
-// SetEdgeWeight enqueues an edge-weight change.
+// SetEdgeWeight enqueues an edge-weight change and blocks until applied.
 func (s *Session) SetEdgeWeight(u, v graph.ID, w int32) error {
-	if w < 1 {
-		return fmt.Errorf("anytime: bad edge weight %d", w)
-	}
-	return s.do(fmt.Sprintf("set-weight %d-%d", u, v), true, func() error {
-		return s.eng.SetEdgeWeight(u, v, w)
-	})
+	m := core.WeightSet(u, v, w)
+	return s.applyWait(&m)
 }
 
-// ApplyVertexAdditions enqueues a vertex batch placed by ps, returning the
-// IDs the engine assigned. The batch is copied at enqueue time.
+// ApplyVertexAdditions enqueues a vertex batch placed by ps and blocks until
+// applied, returning the IDs the engine assigned. The batch is copied at
+// enqueue time.
 func (s *Session) ApplyVertexAdditions(batch *core.VertexBatch, ps core.ProcessorAssigner) ([]graph.ID, error) {
-	if err := batch.Validate(); err != nil {
+	m := core.VertexAdd(batch, ps)
+	if err := s.applyWait(&m); err != nil {
 		return nil, err
 	}
-	cp := cloneBatch(batch)
-	var ids []graph.ID
-	err := s.do(fmt.Sprintf("vertex-add x%d", cp.Count), true, func() error {
-		var err error
-		ids, err = s.eng.ApplyVertexAdditions(cp, ps)
-		return err
-	})
-	return ids, err
+	return m.AssignedIDs, nil
 }
 
-// RemoveVertices enqueues a vertex-removal batch.
+// RemoveVertices enqueues a vertex-removal batch and blocks until applied.
 func (s *Session) RemoveVertices(vertices []graph.ID) error {
-	batch := append([]graph.ID(nil), vertices...)
-	return s.do(fmt.Sprintf("vertex-remove x%d", len(batch)), true, func() error {
-		return s.eng.RemoveVertices(batch)
-	})
+	m := core.VertexRemove(vertices...)
+	return s.applyWait(&m)
 }
 
-// Repartition enqueues a Repartition-S pass: the batch (nil = pure
-// rebalancing) is added without incremental relaxation, the grown graph is
-// repartitioned and partial results migrate to their new owners.
+// Repartition enqueues a Repartition-S pass and blocks until applied: the
+// batch (nil = pure rebalancing) is added without incremental relaxation,
+// the grown graph is repartitioned and partial results migrate to their new
+// owners.
 func (s *Session) Repartition(batch *core.VertexBatch) (*core.RepartitionResult, error) {
-	var cp *core.VertexBatch
-	n := 0
-	if batch != nil {
-		if err := batch.Validate(); err != nil {
-			return nil, err
-		}
-		cp = cloneBatch(batch)
-		n = cp.Count
+	m := core.RepartitionOp(batch)
+	if err := s.applyWait(&m); err != nil {
+		return nil, err
 	}
-	var res *core.RepartitionResult
-	err := s.do(fmt.Sprintf("repartition x%d", n), true, func() error {
-		var err error
-		res, err = s.eng.Repartition(cp)
-		return err
-	})
-	return res, err
-}
-
-func cloneBatch(b *core.VertexBatch) *core.VertexBatch {
-	return &core.VertexBatch{
-		Count:    b.Count,
-		Internal: append([]core.BatchEdge(nil), b.Internal...),
-		External: append([]core.AttachEdge(nil), b.External...),
-	}
+	return m.Repart, nil
 }
 
 // loop is the orchestration goroutine: it alternates between draining the
@@ -465,6 +463,19 @@ func (s *Session) loop(ctx context.Context) {
 			s.tracer.Event(trace.KindQuery, fmt.Sprintf("%d snapshot queries served", s.queries.Load()))
 		}
 		close(s.done)
+		// Reject whatever is still queued: pending mutations are never
+		// silently dropped nor applied after the session stopped — every
+		// waiter gets ErrClosed. (Enqueuers racing Close observe s.done.)
+		for {
+			select {
+			case op := <-s.mq:
+				if op.done != nil {
+					op.done <- ErrClosed
+				}
+			default:
+				return
+			}
+		}
 	}()
 	var deadlineC <-chan time.Time
 	if s.opts.Deadline > 0 {
@@ -484,6 +495,9 @@ func (s *Session) loop(ctx context.Context) {
 		case cmd := <-s.cmds:
 			s.exec(cmd)
 			continue
+		case op := <-s.mq:
+			s.ingest(op)
+			continue
 		default:
 		}
 		if s.paused || s.exhausted || s.eng.Converged() {
@@ -495,6 +509,8 @@ func (s *Session) loop(ctx context.Context) {
 				s.exhaust("deadline")
 			case cmd := <-s.cmds:
 				s.exec(cmd)
+			case op := <-s.mq:
+				s.ingest(op)
 			}
 			continue
 		}
@@ -502,7 +518,7 @@ func (s *Session) loop(ctx context.Context) {
 			// The step did not happen (the engine rolled its state back).
 			// Mark the session Degraded — the current snapshot stays valid,
 			// it is just not advancing — and retry after a backoff, serving
-			// commands and the deadline while waiting.
+			// commands, mutations and the deadline while waiting.
 			s.degrade(err)
 			t := time.NewTimer(s.failBackoff)
 			select {
@@ -514,6 +530,8 @@ func (s *Session) loop(ctx context.Context) {
 				s.exhaust("deadline")
 			case cmd := <-s.cmds:
 				s.exec(cmd)
+			case op := <-s.mq:
+				s.ingest(op)
 			case <-t.C:
 			}
 			t.Stop()
@@ -545,6 +563,8 @@ func (s *Session) loop(ctx context.Context) {
 				s.exhaust("deadline")
 			case cmd := <-s.cmds:
 				s.exec(cmd)
+			case op := <-s.mq:
+				s.ingest(op)
 			case <-t.C:
 			}
 			t.Stop()
@@ -572,34 +592,9 @@ func (s *Session) degrade(err error) {
 	s.publish()
 }
 
-// exec runs one command on the orchestration goroutine. Mutations publish a
-// fresh snapshot before the caller's Apply* returns, so the effect is
-// immediately queryable.
+// exec runs one control command on the orchestration goroutine.
 func (s *Session) exec(cmd *command) {
-	var start time.Time
-	if s.om != nil && cmd.mutation {
-		start = time.Now()
-	}
-	err := cmd.run()
-	if cmd.mutation {
-		if s.om != nil {
-			s.om.mutations.Inc()
-			s.om.applyLat.ObserveDuration(time.Since(start))
-		}
-		if s.tracer != nil {
-			detail := cmd.name
-			if err != nil {
-				detail += " (failed: " + err.Error() + ")"
-			}
-			s.tracer.Event(trace.KindMutation, detail)
-		}
-		// One publication covers both the mutation and a budget trip it may
-		// have caused: checkBudget only marks the transition, so a mutation
-		// that exhausts the step budget still produces a single new epoch.
-		s.checkBudget()
-		s.publish()
-	}
-	cmd.done <- err
+	cmd.done <- cmd.run()
 }
 
 // checkBudget flips the session to Exhausted once the step budget is spent,
@@ -653,6 +648,7 @@ func (s *Session) publish() {
 		Fault:       s.fault,
 		NumVertices: g.NumVertices(),
 		NumEdges:    g.NumEdges(),
+		AppliedOps:  s.appliedOps,
 		Stats:       s.eng.Stats(),
 		dist:        s.eng.Distances(),
 		live:        append([]graph.ID(nil), g.Vertices()...),

@@ -25,6 +25,15 @@ type sessionObs struct {
 	applyLat   *obs.Histogram
 	queueDepth *obs.Gauge
 
+	// Ingest-pipeline instruments. ingestDepth is written from producer
+	// goroutines (push) as well as the orchestration goroutine, which the
+	// atomic gauge supports. ingestUnits/ingestOps together give the
+	// coalesce ratio (units/ops ≤ 1).
+	ingestDepth *obs.Gauge
+	ingestOps   *obs.Counter
+	ingestUnits *obs.Counter
+	batchSize   *obs.Histogram
+
 	// budgetLeft / deadlineLeft stay nil unless the corresponding limit is
 	// configured, so an unlimited session exposes no misleading zero.
 	budgetLeft   *obs.Gauge
@@ -37,6 +46,10 @@ type sessionObs struct {
 var snapshotAgeBuckets = []float64{
 	1e-3, 10e-3, 0.1, 0.5, 1, 5, 15, 60, 300, 1800,
 }
+
+// batchSizeBuckets spans singleton synchronous applies up to a full
+// DefaultIngestQueue drain.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 func newSessionObs(reg *obs.Registry, opts Options) *sessionObs {
 	m := &sessionObs{
@@ -53,6 +66,11 @@ func newSessionObs(reg *obs.Registry, opts Options) *sessionObs {
 		mutations:  reg.Counter("aacc_session_mutations_total", "Mutations applied through the serialized queue."),
 		applyLat:   reg.Histogram("aacc_session_mutation_apply_seconds", "Mutation apply latency on the orchestration goroutine (barrier deletions include their internal RC steps).", nil),
 		queueDepth: reg.Gauge("aacc_session_queue_depth", "Commands enqueued or executing on the serialized queue."),
+
+		ingestDepth: reg.Gauge("aacc_session_ingest_queue_depth", "Mutations waiting in the bounded ingest queue."),
+		ingestOps:   reg.Counter("aacc_session_ingest_ops_total", "Mutations drained from the ingest queue."),
+		ingestUnits: reg.Counter("aacc_session_ingest_units_total", "Coalesced apply units executed (units/ops is the coalesce ratio)."),
+		batchSize:   reg.Histogram("aacc_session_ingest_batch_size", "Mutations drained per step-boundary batch.", batchSizeBuckets),
 	}
 	if opts.StepBudget > 0 {
 		m.budgetLeft = reg.Gauge("aacc_session_step_budget_remaining", "RC steps left before the session exhausts its budget.")

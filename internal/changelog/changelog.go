@@ -187,6 +187,10 @@ type Target interface {
 	ApplyEdgeDeletions(edges [][2]graph.ID) error
 	ApplyEdgeDeletionsEager(edges [][2]graph.ID) error
 	RemoveVertices(vertices []graph.ID) error
+	// ApplyBatch applies a typed mutation batch; the replayer lowers each
+	// log step's edge events into one batch so a session target can
+	// coalesce them into a single apply + publish.
+	ApplyBatch(b *core.Batch) error
 }
 
 var _ Target = (*core.Engine)(nil)
@@ -349,24 +353,26 @@ func (r *Replayer) apply(e Target, b Batch) error {
 			r.names[name] = ids[i]
 		}
 	}
+	// Fold the step's edge events into one typed batch — additions, weight
+	// changes, then deletions, preserving the per-kind order the individual
+	// calls used — so a session target applies them as one coalesced unit
+	// with a single epoch publication.
+	eb := &core.Batch{}
 	if len(edgeAdds) > 0 {
-		if err := e.ApplyEdgeAdditions(edgeAdds); err != nil {
-			return err
-		}
+		eb.Ops = append(eb.Ops, core.EdgeAdd(edgeAdds...))
 	}
 	for _, wc := range weights {
-		if err := e.SetEdgeWeight(wc.u, wc.v, wc.w); err != nil {
-			return err
-		}
+		eb.Ops = append(eb.Ops, core.WeightSet(wc.u, wc.v, wc.w))
 	}
 	if len(edgeDels) > 0 {
-		var err error
 		if r.Eager {
-			err = e.ApplyEdgeDeletionsEager(edgeDels)
+			eb.Ops = append(eb.Ops, core.EdgeDeleteEager(edgeDels...))
 		} else {
-			err = e.ApplyEdgeDeletions(edgeDels)
+			eb.Ops = append(eb.Ops, core.EdgeDelete(edgeDels...))
 		}
-		if err != nil {
+	}
+	if len(eb.Ops) > 0 {
+		if err := e.ApplyBatch(eb); err != nil {
 			return err
 		}
 	}

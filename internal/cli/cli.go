@@ -36,6 +36,7 @@ import (
 	"aacc/internal/runtime"
 	"aacc/internal/trace"
 	"aacc/internal/transport"
+	"aacc/internal/workload"
 )
 
 // newLogger builds the CLI's structured progress logger: a slog text handler
@@ -211,6 +212,10 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		clusterW   = fs.Int("cluster-workers", 0, "coordinator: number of worker processes to admit before the analysis starts")
 		roundTO    = fs.Duration("round-timeout", 30*time.Second, "multi-process: exchange round timeout dictated to the worker mesh")
 		stepIv     = fs.Duration("step-interval", 0, "serve mode: idle this long between rc steps (throttles a live analysis)")
+		ingestQ    = fs.Int("ingest-queue", 0, "serve mode: bound of the asynchronous mutation queue (0 = default)")
+		ingestPol  = fs.String("ingest-policy", "block", "serve mode: backpressure on a full ingest queue: block or error (fail fast, ops are dropped)")
+		ingestN    = fs.Int("ingest", 0, "serve mode: stream this many generated churn mutations through the ingest queue while the analysis runs")
+		ingestRate = fs.Int("ingest-rate", 0, "serve mode: target mutations/sec for -ingest (0 = flat out)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -228,6 +233,24 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	if *stepIv > 0 && !*serve {
 		return fmt.Errorf("-step-interval requires -serve (batch mode steps flat out)")
 	}
+	if (*ingestQ != 0 || *ingestN != 0 || *ingestRate != 0) && !*serve {
+		return fmt.Errorf("-ingest-queue/-ingest/-ingest-rate require -serve (the ingest pipeline is a session feature)")
+	}
+	if *ingestQ < 0 || *ingestN < 0 || *ingestRate < 0 {
+		return fmt.Errorf("-ingest-queue, -ingest and -ingest-rate must be >= 0")
+	}
+	if *ingestRate > 0 && *ingestN == 0 {
+		return fmt.Errorf("-ingest-rate requires -ingest (it paces the generated stream)")
+	}
+	var ingestPolicy anytime.QueuePolicy
+	switch *ingestPol {
+	case "block":
+		ingestPolicy = anytime.BlockOnFull
+	case "error":
+		ingestPolicy = anytime.ErrorOnFull
+	default:
+		return fmt.Errorf("unknown -ingest-policy %q (want block or error)", *ingestPol)
+	}
 	switch *role {
 	case "", "coordinator", "worker":
 	default:
@@ -239,7 +262,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		}
 		for flagName, set := range map[string]bool{
 			"-serve": *serve, "-obs-addr": *obsAddr != "", "-changes": *changes != "",
-			"-anytime": *anyFlag, "-wire": *wire,
+			"-anytime": *anyFlag, "-wire": *wire, "-ingest": *ingestN > 0,
 		} {
 			if set {
 				return fmt.Errorf("%s is a coordinator/single-process flag; a worker only hosts its partition", flagName)
@@ -451,6 +474,15 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			StepBudget:   *stepBudget,
 			Deadline:     *deadline,
 			StepInterval: *stepIv,
+			IngestQueue:  *ingestQ,
+			IngestPolicy: ingestPolicy,
+		}
+		// The churn stream snapshots the base graph NOW — the session takes
+		// ownership of g below.
+		var ingest ingestDriver
+		if *ingestN > 0 {
+			churn := workload.NewChurn(g, int32(*maxW), *seed)
+			ingest = sustainedIngest(logger, stdout, churn, *ingestN, *ingestRate)
 		}
 		build := func(ctx context.Context) (*anytime.Session, error) {
 			if coord != nil {
@@ -458,7 +490,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			}
 			return anytime.New(ctx, g, sopts)
 		}
-		scores, sessionStats, err = serveAnalysis(logger, build, replayer, reg, *obsAddr, *linger, dep)
+		scores, sessionStats, err = serveAnalysis(logger, build, replayer, ingest, reg, *obsAddr, *linger, dep)
 		if err != nil {
 			return err
 		}
@@ -578,7 +610,61 @@ type sessionSummary struct {
 // scrapers still see it). SIGINT/SIGTERM shut the session down gracefully:
 // stepping drains, the last published epoch becomes the report, the
 // observability endpoint closes, and the command exits cleanly.
-func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Session, error), replayer *changelog.Replayer, reg *obs.Registry, obsAddr string, linger time.Duration, dep *deployment) (centrality.Scores, sessionSummary, error) {
+// An ingestDriver streams mutations into a live session from its own
+// goroutine; serveAnalysis waits for it (like the change-log replay) before
+// taking the final converged snapshot.
+type ingestDriver func(ctx context.Context, s *anytime.Session) error
+
+// sustainedIngest returns a driver that pushes n generated churn mutations
+// through the session's asynchronous ingest queue — optionally paced at rate
+// mutations/sec — and reports the sustained throughput plus the worst
+// snapshot staleness observed along the way.
+func sustainedIngest(logger *slog.Logger, stdout io.Writer, churn *workload.Churn, n, rate int) ingestDriver {
+	return func(ctx context.Context, s *anytime.Session) error {
+		var tick *time.Ticker
+		if rate > 0 {
+			tick = time.NewTicker(time.Second / time.Duration(rate))
+			defer tick.Stop()
+		}
+		var rejected int
+		var maxAge time.Duration
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if tick != nil {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			m := churn.Next()
+			switch err := s.Enqueue(m); {
+			case err == nil:
+			case errors.Is(err, anytime.ErrQueueFull):
+				rejected++ // -ingest-policy error: drop and keep streaming
+			default:
+				return fmt.Errorf("ingest op %d (%s): %w", i, m.Kind, err)
+			}
+			if i%64 == 0 {
+				if age := s.Snapshot().Age(); age > maxAge {
+					maxAge = age
+				}
+			}
+		}
+		if err := s.Flush(ctx); err != nil {
+			return fmt.Errorf("ingest flush: %w", err)
+		}
+		elapsed := time.Since(start)
+		perSec := float64(n) / elapsed.Seconds()
+		logger.Info("ingest stream drained", "ops", n, "rejected", rejected,
+			"elapsed", elapsed.Round(time.Millisecond), "max_staleness", maxAge.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "sustained ingest: %d ops in %v (%.0f mutations/sec, %d rejected, max staleness %v)\n",
+			n, elapsed.Round(time.Millisecond), perSec, rejected, maxAge.Round(time.Millisecond))
+		return nil
+	}
+}
+
+func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Session, error), replayer *changelog.Replayer, ingest ingestDriver, reg *obs.Registry, obsAddr string, linger time.Duration, dep *deployment) (centrality.Scores, sessionSummary, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	s, err := build(ctx)
@@ -617,6 +703,14 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 			return
 		}
 		replayErr <- s.Replay(ctx, replayer)
+	}()
+	ingestErr := make(chan error, 1)
+	go func() {
+		if ingest == nil {
+			ingestErr <- nil
+			return
+		}
+		ingestErr <- ingest(ctx, s)
 	}()
 
 	last := 0
@@ -658,6 +752,12 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 	// The analysis settled; any batches still pending fire immediately now,
 	// then the session settles again on the final graph.
 	if err := <-replayErr; err != nil {
+		if ctx.Err() != nil {
+			return graceful()
+		}
+		return centrality.Scores{}, sessionSummary{}, err
+	}
+	if err := <-ingestErr; err != nil {
 		if ctx.Err() != nil {
 			return graceful()
 		}

@@ -176,6 +176,51 @@ func TestAnalysisErrors(t *testing.T) {
 	if err := Analysis([]string{"-linger", "1s"}, &out); err == nil {
 		t.Fatal("-linger without -serve accepted")
 	}
+	if err := Analysis([]string{"-ingest", "10"}, &out); err == nil {
+		t.Fatal("-ingest without -serve accepted")
+	}
+	if err := Analysis([]string{"-serve", "-ingest-rate", "5"}, &out); err == nil {
+		t.Fatal("-ingest-rate without -ingest accepted")
+	}
+	if err := Analysis([]string{"-serve", "-ingest", "10", "-ingest-policy", "nope"}, &out); err == nil {
+		t.Fatal("unknown -ingest-policy accepted")
+	}
+	if err := Analysis([]string{"-serve", "-ingest-queue", "-1"}, &out); err == nil {
+		t.Fatal("negative -ingest-queue accepted")
+	}
+}
+
+// TestAnalysisServeIngest drives the sustained-ingestion mode end to end:
+// a generated churn stream flows through the asynchronous mutation queue
+// while the session converges, and the run reports its throughput.
+func TestAnalysisServeIngest(t *testing.T) {
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "80", "-p", "4", "-serve", "-ingest", "200",
+		"-ingest-queue", "64", "-top", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"sustained ingest: 200 ops", "mutations/sec", "state=converged", "top 3 by closeness"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ingest serve output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestAnalysisServeIngestErrorPolicy: under -ingest-policy error a stalled or
+// slow engine drops ops instead of blocking the producer; the run must still
+// finish cleanly and report the rejected count.
+func TestAnalysisServeIngestErrorPolicy(t *testing.T) {
+	var out bytes.Buffer
+	err := Analysis([]string{"-n", "80", "-p", "4", "-serve", "-ingest", "150",
+		"-ingest-queue", "4", "-ingest-policy", "error", "-top", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rejected") {
+		t.Fatalf("error-policy ingest run missing rejected count:\n%s", out.String())
+	}
 }
 
 func TestBenchListAndSingle(t *testing.T) {

@@ -20,15 +20,23 @@ import (
 // column retirement.
 
 // ApplyEdgeAdditions inserts the given new edges and incrementally updates
-// all distance vectors through them. Edges that already exist with a weight
-// <= the new one are ignored; a strictly smaller weight is treated as a
+// all distance vectors through them. The whole batch is validated before
+// anything mutates (a dead endpoint, self-loop or non-positive weight
+// rejects the batch intact); the edges then apply strictly one at a time in
+// input order — broadcast the two endpoint rows, insert, relax every local
+// row through the new edge — so a batch of k edges is bit-for-bit identical
+// to k singleton calls. That identity is what lets the ingestion pipeline
+// (Coalesce, anytime.Session) merge adjacent addition batches without
+// changing any published distance. Edges that already exist with a weight
+// <= the new one are skipped; a strictly smaller weight is treated as a
 // weight decrease (same relaxation). The engine is left un-converged; run
-// Step/Run to propagate the effects. On error the batch is rejected whole:
-// no edge is inserted and the distance state is untouched.
+// Step/Run to propagate the effects.
+//
+// On a multi-process runtime a failed endpoint-row broadcast aborts the
+// batch between edges: edges before the fault are applied (each one
+// atomically), the rest are not. The coordinator's consensus settling
+// handles the divergence exactly as it does any mid-op transport fault.
 func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
-	// Validate the entire batch before mutating anything: a mid-batch
-	// rejection must not leave earlier edges inserted but never relaxed
-	// (stale conv, distances unaware of the new edges).
 	for _, ed := range edges {
 		if !e.g.Has(ed.U) || !e.g.Has(ed.V) {
 			return fmt.Errorf("core: edge {%d,%d} references a dead vertex", ed.U, ed.V)
@@ -40,41 +48,35 @@ func (e *Engine) ApplyEdgeAdditions(edges []graph.EdgeTriple) error {
 			return fmt.Errorf("core: non-positive weight %d on edge {%d,%d}", ed.W, ed.U, ed.V)
 		}
 	}
-	// Decide which edges actually improve the graph *before* inserting any,
-	// so the endpoint-row broadcast (which can fail on a multi-process
-	// runtime) still leaves the graph untouched on error.
-	applied := make([]graph.EdgeTriple, 0, len(edges))
-	best := make(map[[2]graph.ID]int32, len(edges))
+	applied := 0
+	one := make([]graph.EdgeTriple, 1)
+	ends := make([]graph.ID, 2)
 	for _, ed := range edges {
-		u, v := ed.U, ed.V
-		if u > v {
-			u, v = v, u
+		// The improving check consults the live graph, so a duplicate pair
+		// later in the batch sees the weight an earlier entry installed —
+		// exactly as a singleton sequence would.
+		if w, ok := e.g.Weight(ed.U, ed.V); ok && w <= ed.W {
+			continue // no shorter than what exists
 		}
-		w, ok := best[[2]graph.ID{u, v}]
-		if !ok {
-			w, ok = e.g.Weight(ed.U, ed.V)
+		one[0] = ed
+		ends[0], ends[1] = ed.U, ed.V
+		if ends[0] > ends[1] {
+			ends[0], ends[1] = ends[1], ends[0]
 		}
-		if ok && w <= ed.W {
-			continue // no shorter than what exists (or than an earlier batch entry)
+		endRows, err := e.broadcastRows(ends)
+		if err != nil {
+			return err
 		}
-		best[[2]graph.ID{u, v}] = ed.W
-		applied = append(applied, ed)
-	}
-	if len(applied) == 0 {
-		return nil
-	}
-	applied = sortedEdgeList(applied)
-	endRows, err := e.broadcastRows(edgeEndpoints(applied))
-	if err != nil {
-		return err
-	}
-	for _, ed := range applied {
 		e.g.AddEdge(ed.U, ed.V, ed.W)
 		e.invalidateMask(ed.U)
 		e.invalidateMask(ed.V)
+		e.relaxEdgeBatch(one, endRows)
+		applied++
 	}
-	e.relaxEdgeBatch(applied, endRows)
-	e.trace("edge-add", "%d edges applied", len(applied))
+	if applied == 0 {
+		return nil
+	}
+	e.trace("edge-add", "%d edges applied", applied)
 	e.conv = false
 	return nil
 }
@@ -149,7 +151,14 @@ func (e *Engine) broadcastRows(ids []graph.ID) (map[graph.ID][]int32, error) {
 // no such barrier. This mirrors the titled paper's streaming setting, where
 // deletions update the maintained (converged) closeness state; the win over
 // baseline restart is that every surviving entry is reused.
+// The whole batch is validated before anything mutates — a dead or
+// out-of-range endpoint or a self-loop rejects the batch intact. Pairs that
+// name no live edge between live vertices are skipped (deletes are
+// idempotent).
 func (e *Engine) ApplyEdgeDeletions(pairs [][2]graph.ID) error {
+	if err := e.validateDeletionBatch(pairs); err != nil {
+		return err
+	}
 	var batch []graph.EdgeTriple
 	seen := make(map[[2]graph.ID]bool, len(pairs))
 	for _, p := range pairs {
@@ -295,7 +304,12 @@ func sortedExtIDs(ext map[graph.ID][]int32) []graph.ID {
 // every such row removes every possibly-supported entry without any
 // distance arithmetic. On converged state almost every row qualifies, which
 // degenerates toward a restart; prefer ApplyEdgeDeletions there.
+// Like ApplyEdgeDeletions, the whole batch is validated before anything
+// mutates; pairs naming no live edge are skipped.
 func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
+	if err := e.validateDeletionBatch(pairs); err != nil {
+		return err
+	}
 	var batch []graph.EdgeTriple
 	seen := make(map[[2]graph.ID]bool, len(pairs))
 	for _, p := range pairs {
@@ -400,25 +414,69 @@ func (e *Engine) ApplyEdgeDeletionsEager(pairs [][2]graph.ID) error {
 	return nil
 }
 
+// validateDeletionBatch gives deletion inputs the same whole-batch
+// validate-before-mutate contract edge additions have: the first bad pair
+// rejects the batch with nothing removed and no distance state touched.
+func (e *Engine) validateDeletionBatch(pairs [][2]graph.ID) error {
+	for _, p := range pairs {
+		if !e.g.Has(p[0]) || !e.g.Has(p[1]) {
+			return fmt.Errorf("core: edge deletion {%d,%d} references a dead vertex", p[0], p[1])
+		}
+		if p[0] == p[1] {
+			return fmt.Errorf("core: self-loop deletion {%d,%d}", p[0], p[1])
+		}
+	}
+	return nil
+}
+
 // SetEdgeWeight changes the weight of an existing edge. A decrease is an
 // incremental relaxation; an increase is a deletion followed by an
-// insertion at the new weight, per the paper's edge-weight-change strategy.
+// insertion at the new weight (the shared DecomposeWeightSet sequence), per
+// the paper's edge-weight-change strategy.
 func (e *Engine) SetEdgeWeight(u, v graph.ID, w int32) error {
 	old, ok := e.g.Weight(u, v)
 	if !ok {
 		return fmt.Errorf("core: SetEdgeWeight on missing edge {%d,%d}", u, v)
 	}
 	switch {
+	case w < 1:
+		return fmt.Errorf("core: non-positive weight %d on edge {%d,%d}", w, u, v)
 	case w == old:
 		return nil
 	case w < old:
 		return e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: u, V: v, W: w}})
 	default:
-		if err := e.ApplyEdgeDeletions([][2]graph.ID{{u, v}}); err != nil {
+		steps := DecomposeWeightSet(u, v, w, false)
+		for i := range steps {
+			if err := e.applyMutation(&steps[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// SetEdgeWeights applies a batch of absolute weight changes with the same
+// whole-batch-validate-before-mutate contract as ApplyEdgeAdditions: every
+// target edge must exist between live vertices and every new weight must be
+// positive, or the whole batch is rejected and nothing mutates. The changes
+// then apply one at a time in input order (weight changes never remove
+// edges, so the upfront validation stays sound throughout the batch).
+func (e *Engine) SetEdgeWeights(updates []graph.EdgeTriple) error {
+	for _, up := range updates {
+		if up.W < 1 {
+			return fmt.Errorf("core: non-positive weight %d on edge {%d,%d}", up.W, up.U, up.V)
+		}
+		if _, ok := e.g.Weight(up.U, up.V); !ok {
+			return fmt.Errorf("core: SetEdgeWeight on missing edge {%d,%d}", up.U, up.V)
+		}
+	}
+	for _, up := range updates {
+		if err := e.SetEdgeWeight(up.U, up.V, up.W); err != nil {
 			return err
 		}
-		return e.ApplyEdgeAdditions([]graph.EdgeTriple{{U: u, V: v, W: w}})
 	}
+	return nil
 }
 
 // BatchEdge is an edge between two vertices of the same VertexBatch,

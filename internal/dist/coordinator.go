@@ -610,20 +610,15 @@ func (c *Coordinator) settle(outs map[int]outcome) (*resultBody, error) {
 				c.stepCount = s
 			}
 		}
-		// The engines advanced by however many internal steps committed
-		// before the failure; n/m are unchanged by a failed op on the
-		// no-mutation-on-error paths, but a compound op (weight increase)
-		// can fail halfway. If the workers' graph no longer matches the
-		// mirror, the log can no longer reproduce their state: expel them
-		// all so the replay path restores consistency.
-		if key.n != c.g.NumVertices() || key.m != c.g.NumEdges() {
-			for idx, o := range outs {
-				if o.res != nil && inKeep[idx] {
-					c.expel(idx, "graph diverged from coordinator mirror after a half-applied mutation")
-				}
-			}
-		}
-		return nil, fmt.Errorf("%s", firstErr)
+		// Hand the kept group's representative result back alongside the
+		// error: a failed mutate batch needs its FailedOp and graph shape to
+		// mirror the committed prefix and detect half-applied ops
+		// (mutateBatch runs that divergence check once the mirror caught
+		// up — here the prefix is not yet mirrored, so comparing would
+		// misfire).
+		rep := *outs[keep[0]].res
+		rep.Step = c.stepCount
+		return &rep, fmt.Errorf("%s", firstErr)
 	}
 	return nil, fmt.Errorf("all workers lost during command")
 }
@@ -699,31 +694,108 @@ func (c *Coordinator) Step() (core.StepReport, error) {
 	}, nil
 }
 
-// mutate drives one logged mutation across the cluster and applies it to the
-// mirror graph on success.
+// mutate drives one logged mutation across the cluster.
 func (c *Coordinator) mutate(op Op) error {
+	_, err := c.mutateBatch([]Op{op})
+	return err
+}
+
+// mutateBatch drives a batch of logged mutations across the cluster as ONE
+// control round trip per worker and applies the committed prefix to the
+// mirror graph. Workers stop at the first failing op (everything before it
+// stays applied, exactly like the engine's own batch apply); the coordinator
+// mirrors and logs only that committed prefix, so the rejoin replay log
+// remains a faithful reconstruction even of a partially failed batch. It
+// returns the index of the failing op (len(ops) on success) alongside the
+// error.
+func (c *Coordinator) mutateBatch(ops []Op) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.preflight(); err != nil {
-		return err
+		return 0, err
 	}
 	seq := c.seq
 	outs := c.drive(func(ws *workerState) error {
-		return ws.cn.send(mMutate, mutateBody{Seq: seq, Op: op}, time.Now().Add(30*time.Second))
+		return ws.cn.send(mMutate, mutateBody{Seq: seq, Ops: ops}, time.Now().Add(30*time.Second))
 	})
 	win, err := c.settle(outs)
 	if err != nil {
-		return fmt.Errorf("dist: %s: %s", op.Kind, err)
+		failed := 0
+		if win != nil {
+			failed = min(max(win.FailedOp, 0), len(ops)-1)
+		}
+		for _, op := range ops[:failed] {
+			c.applyMirror(op)
+			c.log = append(c.log, op)
+		}
+		if win != nil && (win.N != c.g.NumVertices() || win.M != c.g.NumEdges()) {
+			// The failing op mutated the workers' graphs before erroring (a
+			// compound op can fail halfway): the mirror and its replay log
+			// can no longer reproduce their state. Expel the survivors so
+			// the rejoin/replay path restores consistency.
+			for idx, w := range c.ws {
+				if w.alive {
+					c.expel(idx, "graph diverged from coordinator mirror after a half-applied mutation")
+				}
+			}
+		}
+		return failed, fmt.Errorf("dist: %s: %s", ops[failed].Kind, err)
 	}
-	c.applyMirror(op)
-	c.log = append(c.log, op)
+	for _, op := range ops {
+		c.applyMirror(op)
+		c.log = append(c.log, op)
+	}
 	if win.N != c.g.NumVertices() || win.M != c.g.NumEdges() {
-		// The workers and the mirror disagree about the graph the mutation
+		// The workers and the mirror disagree about the graph the batch
 		// produced — the coordinator's replay log is no longer a faithful
 		// reconstruction. This is a bug, not an operational fault; surface
 		// it loudly instead of letting rejoins diverge silently.
-		return fmt.Errorf("dist: %s: workers report %d vertices / %d edges, mirror has %d / %d",
-			op.Kind, win.N, win.M, c.g.NumVertices(), c.g.NumEdges())
+		return len(ops), fmt.Errorf("dist: %s: workers report %d vertices / %d edges, mirror has %d / %d",
+			ops[len(ops)-1].Kind, win.N, win.M, c.g.NumVertices(), c.g.NumEdges())
+	}
+	return len(ops), nil
+}
+
+// ApplyBatch lowers a typed mutation batch to wire ops and drives them
+// across the cluster in one control round trip per worker — the
+// high-throughput path behind the session's ingest pipeline. A failure is
+// reported as a *core.BatchError indexing the offending batch op; ops before
+// it committed cluster-wide, ops after it did not run (unlike the
+// single-process engine the cluster cannot retry past a failure, so the
+// session's per-constituent fallback sees honest verdicts). Mutations with
+// no cluster implementation (vertex additions/removals, repartitioning)
+// fail at their index after the preceding prefix committed.
+func (c *Coordinator) ApplyBatch(b *core.Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	var ops []Op
+	var opIdx []int // wire op -> index in b.Ops
+	badIdx := -1
+	var badErr error
+	for i := range b.Ops {
+		w, err := opsFromMutation(&b.Ops[i])
+		if err != nil {
+			badIdx, badErr = i, err
+			break
+		}
+		for _, op := range w {
+			ops = append(ops, op)
+			opIdx = append(opIdx, i)
+		}
+	}
+	if len(ops) > 0 {
+		failed, err := c.mutateBatch(ops)
+		if err != nil {
+			idx := 0
+			if failed >= 0 && failed < len(opIdx) {
+				idx = opIdx[failed]
+			}
+			return &core.BatchError{Index: idx, Err: err}
+		}
+	}
+	if badIdx >= 0 {
+		return &core.BatchError{Index: badIdx, Err: badErr}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -378,5 +379,119 @@ func TestJoinVerification(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("worker exit: %v", err)
+	}
+}
+
+// TestClusterApplyBatch drives a typed mutation batch — every edge kind in
+// one control round trip per worker — across a live cluster and requires the
+// reconverged distances to equal a single-process engine that applied the
+// identical batch. A second batch with a failing op pins the
+// committed-prefix contract: ops before the failure applied cluster-wide,
+// the *core.BatchError indexes the offender, and the mirror stayed in sync.
+func TestClusterApplyBatch(t *testing.T) {
+	base := testGraph(120)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln := listen(t)
+	coordAddr := ln.Addr().String()
+	_, done0 := startWorker(t, ctx, coordAddr, "", base)
+	_, done1 := startWorker(t, ctx, coordAddr, "", base)
+
+	coord := newTestCoordinator(t, ln, base.Clone(), 2)
+	defer coord.Close()
+	ora := oracle(t, base.Clone())
+	defer ora.Close()
+
+	step := func() error { _, err := coord.Step(); return err }
+	converge(t, "cluster", step, coord.Converged)
+	converge(t, "oracle", func() error { _, err := ora.Step(); return err }, ora.Converged)
+
+	edges := base.Edges()
+	batch := &core.Batch{Ops: []core.Mutation{
+		core.EdgeAdd(graph.EdgeTriple{U: 0, V: graph.ID(base.NumIDs() - 1), W: 1}),
+		core.WeightSet(edges[2].U, edges[2].V, edges[2].W+3),
+		core.EdgeDelete([2]graph.ID{edges[0].U, edges[0].V}),
+		core.EdgeDeleteEager([2]graph.ID{edges[1].U, edges[1].V}),
+	}}
+	if err := coord.ApplyBatch(batch); err != nil {
+		t.Fatalf("cluster batch: %v", err)
+	}
+	oraBatch := &core.Batch{Ops: make([]core.Mutation, len(batch.Ops))}
+	for i := range batch.Ops {
+		oraBatch.Ops[i] = batch.Ops[i].Clone()
+	}
+	if err := ora.ApplyBatch(oraBatch); err != nil {
+		t.Fatalf("oracle batch: %v", err)
+	}
+	if got, want := coord.Graph().NumEdges(), ora.Graph().NumEdges(); got != want {
+		t.Fatalf("after batch: mirror has %d edges, oracle %d", got, want)
+	}
+	converge(t, "cluster reconverge", step, coord.Converged)
+	converge(t, "oracle reconverge", func() error { _, err := ora.Step(); return err }, ora.Converged)
+	compareDistances(t, "post-batch fixpoint", coord.Distances(), ora.Distances())
+
+	// Committed-prefix: the add before the bad weight set applies, the ops
+	// after it do not, and the error names index 1.
+	preEdges := coord.Graph().NumEdges()
+	bad := &core.Batch{Ops: []core.Mutation{
+		core.EdgeAdd(graph.EdgeTriple{U: 1, V: graph.ID(base.NumIDs() - 1), W: 2}),
+		core.WeightSet(0, graph.ID(base.NumIDs()-2), 9), // no such edge
+		core.EdgeAdd(graph.EdgeTriple{U: 2, V: graph.ID(base.NumIDs() - 1), W: 2}),
+	}}
+	err := coord.ApplyBatch(bad)
+	var be *core.BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("failing batch: %v, want BatchError at index 1", err)
+	}
+	if got := coord.Graph().NumEdges(); got != preEdges+1 {
+		t.Fatalf("committed prefix: %d edges, want %d (one add, nothing after the failure)", got, preEdges+1)
+	}
+	if !coord.Graph().HasEdge(1, graph.ID(base.NumIDs()-1)) || coord.Graph().HasEdge(2, graph.ID(base.NumIDs()-1)) {
+		t.Fatal("prefix/suffix mismatch after failing batch")
+	}
+	// The cluster survives and the mirror still matches the workers.
+	if _, err := coord.Step(); err != nil {
+		t.Fatalf("step after failed batch: %v", err)
+	}
+
+	if err := coord.Close(); err != nil {
+		t.Fatalf("coordinator close: %v", err)
+	}
+	for i, done := range []chan error{done0, done1} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exit: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit after shutdown", i)
+		}
+	}
+}
+
+// TestTransformForReplayMatchesDecomposition pins the replay transform to
+// the engine's shared weight-set decomposition: both paths must produce the
+// same eager-delete + re-add pair, so a rejoined worker's lone replay and a
+// live engine's SetEdgeWeight reach identical graphs.
+func TestTransformForReplayMatchesDecomposition(t *testing.T) {
+	got := transformForReplay(Op{Kind: opSetWeight, U: 3, V: 9, W: 7})
+	dec := core.DecomposeWeightSet(3, 9, 7, true)
+	if len(got) != 2 {
+		t.Fatalf("set-weight transforms to %d ops, want 2", len(got))
+	}
+	if got[0].Kind != opEdgeDelEager || len(got[0].Pairs) != 1 || got[0].Pairs[0] != dec[0].Pairs[0] {
+		t.Fatalf("replay delete %+v does not match decomposition %+v", got[0], dec[0])
+	}
+	if dec[0].Kind != core.MutEdgeDeleteEager {
+		t.Fatalf("eager decomposition produced %v delete", dec[0].Kind)
+	}
+	if got[1].Kind != opEdgeAdd || len(got[1].Edges) != 1 || got[1].Edges[0] != dec[1].Edges[0] {
+		t.Fatalf("replay add %+v does not match decomposition %+v", got[1], dec[1])
+	}
+	// Barrier deletions also flatten to eager for lone replay.
+	del := transformForReplay(Op{Kind: opEdgeDel, Pairs: [][2]graph.ID{{1, 2}}})
+	if len(del) != 1 || del[0].Kind != opEdgeDelEager {
+		t.Fatalf("barrier delete transform = %+v, want one eager delete", del)
 	}
 }

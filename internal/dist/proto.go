@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"aacc/internal/cluster"
+	"aacc/internal/core"
 	"aacc/internal/graph"
 	"aacc/internal/transport"
 )
@@ -38,7 +39,7 @@ const (
 	mAssign                       // coordinator → worker: index, topology, replay log
 	mReady                        // worker → coordinator: engine built, replay done (resultBody)
 	mStep                         // coordinator → worker: run one RC step
-	mMutate                       // coordinator → worker: apply one mutation
+	mMutate                       // coordinator → worker: apply a batch of mutations
 	mResync                       // coordinator → worker: queue every resident row for full resend
 	mReport                       // coordinator → worker: dump resident distance rows
 	mReportData                   // worker → coordinator: binary row payload
@@ -93,9 +94,12 @@ type assignBody struct {
 
 type stepBody struct{ Seq uint32 }
 
+// mutateBody carries one committed-prefix batch of mutations: the worker
+// applies Ops in order and stops at the first failure, leaving the prefix
+// applied — the same transactional shape as the engine's own batch apply.
 type mutateBody struct {
 	Seq uint32
-	Op  Op
+	Ops []Op
 }
 
 type resyncBody struct{ Seq uint32 }
@@ -104,7 +108,10 @@ type resyncBody struct{ Seq uint32 }
 // plus the state summary the coordinator uses for its divergence checks
 // (NextSeq, Step, N, M, Converged must agree across workers).
 type resultBody struct {
-	Err          string `json:",omitempty"`
+	Err string `json:",omitempty"`
+	// FailedOp indexes the mutate batch op that produced Err (meaningful
+	// only when Err is set on an mMutate reply); ops before it committed.
+	FailedOp     int `json:",omitempty"`
 	NextSeq      uint32
 	Step         int
 	Converged    bool
@@ -145,21 +152,48 @@ type Op struct {
 // transformForReplay rewrites an op so a lone rejoining worker can apply it
 // without cluster collectives: barrier-mode deletions become eager deletions
 // (the barrier's internal convergence would need exchange rounds nobody else
-// is running), and weight changes become eager-delete + re-add (SetEdgeWeight
-// routes increases through a barrier deletion). Both rewrites reach the same
-// final graph, and the eager invalidation keeps every distance a sound upper
-// bound — the resync after rejoin re-converges the rows exactly.
+// is running), and weight changes become eager-delete + re-add through the
+// same core.DecomposeWeightSet helper that backs the engine's own
+// SetEdgeWeight increase path — one decomposition, two call sites. Both
+// rewrites reach the same final graph, and the eager invalidation keeps
+// every distance a sound upper bound — the resync after rejoin re-converges
+// the rows exactly.
 func transformForReplay(op Op) []Op {
 	switch op.Kind {
 	case opEdgeDel:
 		return []Op{{Kind: opEdgeDelEager, Pairs: op.Pairs}}
 	case opSetWeight:
+		dec := core.DecomposeWeightSet(op.U, op.V, op.W, true)
 		return []Op{
-			{Kind: opEdgeDelEager, Pairs: [][2]graph.ID{{op.U, op.V}}},
-			{Kind: opEdgeAdd, Edges: []graph.EdgeTriple{{U: op.U, V: op.V, W: op.W}}},
+			{Kind: opEdgeDelEager, Pairs: dec[0].Pairs},
+			{Kind: opEdgeAdd, Edges: dec[1].Edges},
 		}
 	default:
 		return []Op{op}
+	}
+}
+
+// opsFromMutation lowers one typed core mutation to its wire ops. Edge-set
+// mutations map one-to-one; a multi-edge weight set becomes one wire op per
+// edge (the wire format predates multi-edge weight sets). Vertex and
+// repartition mutations have no cluster implementation — the resident
+// processor ranges are fixed at formation — and report as such.
+func opsFromMutation(m *core.Mutation) ([]Op, error) {
+	switch m.Kind {
+	case core.MutEdgeAdd:
+		return []Op{{Kind: opEdgeAdd, Edges: append([]graph.EdgeTriple(nil), m.Edges...)}}, nil
+	case core.MutEdgeDelete:
+		return []Op{{Kind: opEdgeDel, Pairs: append([][2]graph.ID(nil), m.Pairs...)}}, nil
+	case core.MutEdgeDeleteEager:
+		return []Op{{Kind: opEdgeDelEager, Pairs: append([][2]graph.ID(nil), m.Pairs...)}}, nil
+	case core.MutSetWeight:
+		ops := make([]Op, len(m.Edges))
+		for i, ed := range m.Edges {
+			ops[i] = Op{Kind: opSetWeight, U: ed.U, V: ed.V, W: ed.W}
+		}
+		return ops, nil
+	default:
+		return nil, fmt.Errorf("dist: %s mutations are not supported in a multi-process cluster", m.Kind)
 	}
 }
 

@@ -250,8 +250,21 @@ func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rr
 				return fmt.Errorf("dist: decoding mutate: %w", err)
 			}
 			rrt.SetBaseSeq(cmd.Seq)
-			opErr := applyOp(eng, cmd.Op)
-			if err := cn.send(mResult, result(eng, rrt, opErr), sendDL(cfg)); err != nil {
+			// Committed-prefix batch: stop at the first failing op and
+			// report its index; everything before it stays applied.
+			var opErr error
+			failed := 0
+			for i, op := range cmd.Ops {
+				if opErr = applyOp(eng, op); opErr != nil {
+					failed = i
+					break
+				}
+			}
+			res := result(eng, rrt, opErr)
+			if opErr != nil {
+				res.FailedOp = failed
+			}
+			if err := cn.send(mResult, res, sendDL(cfg)); err != nil {
 				return err
 			}
 		case mResync:

@@ -24,8 +24,9 @@ const (
 	// ProtocolVersion is the wire protocol revision this binary speaks. It
 	// covers the hello itself, the record framing, the exchange payload
 	// codec and the coordinator control messages; bump it whenever any of
-	// those change incompatibly.
-	ProtocolVersion = 1
+	// those change incompatibly. v2: mMutate carries a batch of ops
+	// (mutateBody.Ops) instead of a single op, and mResult gained FailedOp.
+	ProtocolVersion = 2
 )
 
 // Hello ack statuses.

@@ -267,3 +267,99 @@ func RandomEdgeDeletions(g graph.View, count int, seed int64) [][2]graph.ID {
 	}
 	return out
 }
+
+// Churn generates an endless sustained-ingest stream of typed mutations for
+// throughput benchmarks and smoke tests: edge additions of currently-absent
+// pairs, eager deletions and weight-decreasing re-adds of edges the stream
+// itself added. It tracks only its own additions in a private mirror — it
+// never touches pre-existing graph edges — so every emitted mutation is
+// valid against any engine state the stream alone produced, and the
+// generator stays correct even when the consumer drops ops (a full
+// fail-fast queue): a dropped add just means the later delete of that pair
+// skips silently. Deterministic for a given seed; not safe for concurrent
+// use.
+type Churn struct {
+	rng  *rand.Rand
+	live []graph.ID
+	maxW int32
+	mine map[[2]graph.ID]bool // pairs this stream added (pre-existing edges excluded)
+	ring [][2]graph.ID        // insertion-ordered view of mine for random picks
+}
+
+// NewChurn builds a churn stream over the live vertices of g (captured at
+// call time — vertex additions/removals during the stream are not tracked).
+func NewChurn(g graph.View, maxW int32, seed int64) *Churn {
+	if maxW < 1 {
+		maxW = 1
+	}
+	c := &Churn{
+		rng:  rand.New(rand.NewSource(seed)),
+		live: append([]graph.ID(nil), g.Vertices()...),
+		maxW: maxW,
+		mine: make(map[[2]graph.ID]bool),
+	}
+	// Exclude the base edges so the stream never deletes or reweights
+	// anything it does not own.
+	for _, ed := range g.Edges() {
+		u, v := ed.U, ed.V
+		if u > v {
+			u, v = v, u
+		}
+		c.mine[[2]graph.ID{u, v}] = false // known, not ours
+	}
+	return c
+}
+
+// Next returns the stream's next mutation. The mix is roughly 60% additions,
+// 25% eager deletions of stream-added edges, 15% weight-decreasing re-adds
+// (an improving AddEdge, the engine's cheap weight path); while the stream
+// owns no edges yet it emits additions only.
+func (c *Churn) Next() core.Mutation {
+	roll := c.rng.Intn(20)
+	switch {
+	case roll < 5 && len(c.ring) > 0:
+		p := c.ring[c.rng.Intn(len(c.ring))]
+		if c.mine[p] {
+			c.mine[p] = false
+			return core.EdgeDeleteEager(p)
+		}
+		fallthrough
+	case roll < 8 && len(c.ring) > 0:
+		p := c.ring[c.rng.Intn(len(c.ring))]
+		if c.mine[p] {
+			// Weight 1 is always (weakly) improving, so the re-add never
+			// depends on what the previous weight was.
+			return core.EdgeAdd(graph.EdgeTriple{U: p[0], V: p[1], W: 1})
+		}
+		fallthrough
+	default:
+		for tries := 0; tries < 64; tries++ {
+			u := c.live[c.rng.Intn(len(c.live))]
+			v := c.live[c.rng.Intn(len(c.live))]
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			p := [2]graph.ID{u, v}
+			if known, seen := c.mine[p]; seen && !known {
+				continue // base edge or already churning: next try
+			}
+			if c.mine[p] {
+				continue
+			}
+			if _, seen := c.mine[p]; !seen {
+				c.ring = append(c.ring, p)
+			}
+			c.mine[p] = true
+			return core.EdgeAdd(graph.EdgeTriple{U: u, V: v, W: 1 + c.rng.Int31n(c.maxW)})
+		}
+		// Dense graph fallback: re-add an owned edge (or a no-op empty add).
+		if len(c.ring) > 0 {
+			p := c.ring[c.rng.Intn(len(c.ring))]
+			return core.EdgeAdd(graph.EdgeTriple{U: p[0], V: p[1], W: 1})
+		}
+		return core.EdgeAdd()
+	}
+}

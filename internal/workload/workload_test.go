@@ -211,3 +211,66 @@ func TestPropertyIncrementalPreservesEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChurnStreamIsValidAndSelfContained: a long churn stream emits only
+// structurally valid mutations, never deletes or reweights a base-graph
+// edge, and every deletion targets a pair the stream added earlier — so the
+// stream stays applicable even when a consumer drops ops. Deterministic per
+// seed.
+func TestChurnStreamIsValidAndSelfContained(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, 5, gen.Config{})
+	base := make(map[[2]graph.ID]bool)
+	for _, ed := range g.Edges() {
+		u, v := ed.U, ed.V
+		if u > v {
+			u, v = v, u
+		}
+		base[[2]graph.ID{u, v}] = true
+	}
+	c := NewChurn(g, 4, 99)
+	c2 := NewChurn(g, 4, 99)
+	added := make(map[[2]graph.ID]bool)
+	kinds := make(map[core.MutationKind]int)
+	for i := 0; i < 2000; i++ {
+		m := c.Next()
+		m2 := c2.Next()
+		if m.Kind != m2.Kind || len(m.Edges) != len(m2.Edges) || len(m.Pairs) != len(m2.Pairs) {
+			t.Fatalf("op %d: same seed diverged: %v vs %v", i, m.Kind, m2.Kind)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("op %d invalid: %v", i, err)
+		}
+		kinds[m.Kind]++
+		switch m.Kind {
+		case core.MutEdgeAdd:
+			for _, ed := range m.Edges {
+				u, v := ed.U, ed.V
+				if u > v {
+					u, v = v, u
+				}
+				p := [2]graph.ID{u, v}
+				if base[p] {
+					t.Fatalf("op %d reweights base edge %v", i, p)
+				}
+				added[p] = true
+			}
+		case core.MutEdgeDeleteEager:
+			for _, p := range m.Pairs {
+				if p[0] > p[1] {
+					p[0], p[1] = p[1], p[0]
+				}
+				if base[p] {
+					t.Fatalf("op %d deletes base edge %v", i, p)
+				}
+				if !added[p] {
+					t.Fatalf("op %d deletes pair %v the stream never added", i, p)
+				}
+			}
+		default:
+			t.Fatalf("op %d: unexpected kind %v", i, m.Kind)
+		}
+	}
+	if kinds[core.MutEdgeAdd] == 0 || kinds[core.MutEdgeDeleteEager] == 0 {
+		t.Fatalf("stream lacks variety: %v", kinds)
+	}
+}
