@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -28,6 +29,7 @@ import (
 	"aacc/internal/partition"
 	"aacc/internal/runtime"
 	"aacc/internal/sssp"
+	"aacc/internal/trace"
 	"aacc/internal/workload"
 )
 
@@ -577,6 +579,39 @@ func BenchmarkStepObsOverhead(b *testing.B) {
 	}
 	b.Run("RegistryOff", func(b *testing.B) { run(b, nil) })
 	b.Run("RegistryOn", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}
+
+// BenchmarkStepTraceOverhead is the distributed-tracing sibling of
+// BenchmarkStepObsOverhead: TracerOff is the production default (nil span
+// sink — the step loop takes one branch and no clock reads), TracerOn runs
+// the same analysis with a JSONL tracer emitting per-phase spans to a
+// discarding writer, so the pair isolates span construction + encoding cost.
+// scripts/bench_compare.sh diffs the pair; the budget is <=5% overhead with
+// tracing on.
+func BenchmarkStepTraceOverhead(b *testing.B) {
+	g := gen.BarabasiAlbert(benchN, 2, benchSeed, gen.Config{})
+	run := func(b *testing.B, mk func() core.Tracer) {
+		for i := 0; i < b.N; i++ {
+			var tracer core.Tracer
+			if mk != nil {
+				tracer = mk()
+			}
+			e, err := core.New(g.Clone(), core.Options{
+				P: benchP, Seed: benchSeed,
+				Partitioner: partition.Multilevel{Seed: benchSeed},
+				Tracer:      tracer,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustRun(b, e)
+			e.Close()
+		}
+	}
+	b.Run("TracerOff", func(b *testing.B) { run(b, nil) })
+	b.Run("TracerOn", func(b *testing.B) {
+		run(b, func() core.Tracer { return trace.NewJSONL(io.Discard) })
+	})
 }
 
 // BenchmarkIngest measures sustained mutation throughput through the anytime

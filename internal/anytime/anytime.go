@@ -35,6 +35,7 @@ import (
 	"aacc/internal/core"
 	"aacc/internal/dv"
 	"aacc/internal/graph"
+	"aacc/internal/obs"
 	"aacc/internal/trace"
 )
 
@@ -218,8 +219,10 @@ type Session struct {
 	eng     Engine
 	opts    Options
 	tracer  core.Tracer
-	om      *sessionObs // live metrics, nil unless Options.Engine.Obs was set
-	started time.Time   // deadline gauge reference point
+	om      *sessionObs   // live metrics, nil unless Options.Engine.Obs was set
+	rec     *obs.Recorder // flight recorder, nil-safe
+	spans   obs.SpanSink  // tracer's span sink, nil when tracing is off
+	started time.Time     // deadline gauge reference point
 
 	cancel context.CancelFunc
 	cmds   chan *command
@@ -296,10 +299,30 @@ func NewWith(ctx context.Context, eng Engine, opts Options) (*Session, error) {
 	if opts.Engine.Obs != nil {
 		s.om = newSessionObs(opts.Engine.Obs, opts)
 	}
+	s.rec = opts.Engine.Obs.Events()
+	s.spans = obs.SinkOf(opts.Engine.Tracer)
 	s.baseStep = eng.StepCount()
 	s.publish() // epoch 1: the IA phase's local shortest paths
+	if reg := opts.Engine.Obs; reg != nil {
+		// Scrape-time staleness: how old the snapshot a query would get
+		// right now is. The published snapshot is never nil past this point.
+		reg.GaugeFunc("aacc_session_snapshot_staleness_seconds",
+			"Age of the currently served snapshot, in seconds, evaluated at scrape time.",
+			func() float64 { return s.cur.Load().Age().Seconds() })
+	}
 	go s.loop(ctx)
 	return s, nil
+}
+
+// traceKey returns the correlation key for spans/events the session emits:
+// the engine's current span key (a distributed coordinator reports its
+// command/round seq, so session events line up with per-worker spans), or
+// the step count for engines that don't expose one.
+func (s *Session) traceKey() uint64 {
+	if k, ok := s.eng.(interface{ SpanKey() uint64 }); ok {
+		return k.SpanKey()
+	}
+	return uint64(s.eng.StepCount())
 }
 
 // Close stops the orchestration goroutine and releases engine resources.
@@ -541,6 +564,7 @@ func (s *Session) loop(ctx context.Context) {
 		if recovered {
 			s.degraded = false
 			s.fault = ""
+			s.rec.Record("session", "recovered", s.traceKey(), "exchange rounds delivering again")
 			if s.tracer != nil {
 				s.tracer.Event(trace.KindFault, "recovered: exchange rounds delivering again")
 			}
@@ -586,6 +610,7 @@ func (s *Session) degrade(err error) {
 		return
 	}
 	s.degraded = true
+	s.rec.Record("session", "degraded", s.traceKey(), err.Error())
 	if s.tracer != nil {
 		s.tracer.Event(trace.KindFault, "degraded: "+err.Error())
 	}
@@ -618,6 +643,11 @@ func (s *Session) markExhausted(reason string) bool {
 		return false
 	}
 	s.exhausted = true
+	kind := "budget-trip"
+	if reason == "deadline" {
+		kind = "deadline-trip"
+	}
+	s.rec.Record("session", kind, s.traceKey(), "exhausted: "+reason)
 	if s.tracer != nil {
 		s.tracer.Event(trace.KindEpoch, "exhausted: "+reason)
 	}
@@ -666,6 +696,16 @@ func (s *Session) publish() {
 		s.om.published(snap, time.Since(start))
 		s.om.limits(s.opts.StepBudget-(s.eng.StepCount()-s.baseStep),
 			s.opts.Deadline-time.Since(s.started))
+	}
+	if s.spans != nil {
+		s.spans.Span(obs.Span{
+			Trace:     s.traceKey(),
+			Component: "session",
+			Name:      "session.publish",
+			Start:     start,
+			Dur:       time.Since(start),
+			Detail:    fmt.Sprintf("epoch %d at step %d", snap.Epoch, snap.Step),
+		})
 	}
 	if s.tracer != nil {
 		s.tracer.Event(trace.KindEpoch, fmt.Sprintf(

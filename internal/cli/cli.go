@@ -203,8 +203,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf    = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
 		logLevel   = fs.String("log-level", "info", "progress log level: debug, info, warn, error")
-		obsAddr    = fs.String("obs-addr", "", "serve mode: listen address for the observability endpoint (/metrics, /healthz, /statusz, /debug/pprof)")
-		linger     = fs.Duration("linger", 0, "serve mode: keep the session (and observability endpoint) up this long after the analysis settles")
+		obsAddr    = fs.String("obs-addr", "", "listen address for the observability endpoint (/metrics, /healthz, /statusz, /debug/events, /debug/pprof) — any role, including workers and batch runs")
+		linger     = fs.Duration("linger", 0, "keep the process (and observability endpoint) up this long after the analysis settles")
 		role       = fs.String("role", "", "multi-process deployment role: coordinator or worker (default: single-process)")
 		listenAddr = fs.String("listen", "", "coordinator: control listen address (required); worker: peer-mesh listen address (default 127.0.0.1:0)")
 		coordAddr  = fs.String("coordinator", "", "worker: the coordinator's control address")
@@ -224,11 +224,8 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	if *obsAddr != "" && !*serve {
-		return fmt.Errorf("-obs-addr requires -serve (metrics describe a live session)")
-	}
-	if *linger > 0 && !*serve {
-		return fmt.Errorf("-linger requires -serve")
+	if *linger > 0 && !*serve && *obsAddr == "" {
+		return fmt.Errorf("-linger requires -serve or -obs-addr (it holds the process open for late scrapers)")
 	}
 	if *stepIv > 0 && !*serve {
 		return fmt.Errorf("-step-interval requires -serve (batch mode steps flat out)")
@@ -261,7 +258,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			return fmt.Errorf("-role worker requires -coordinator (the coordinator's control address)")
 		}
 		for flagName, set := range map[string]bool{
-			"-serve": *serve, "-obs-addr": *obsAddr != "", "-changes": *changes != "",
+			"-serve": *serve, "-changes": *changes != "",
 			"-anytime": *anyFlag, "-wire": *wire, "-ingest": *ingestN > 0,
 		} {
 			if set {
@@ -377,7 +374,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("-workers must be >= 1, got %d", *poolSize)
 	}
 	if *role == "worker" {
-		return workerRole(logger, g, part, *p, *seed, *poolSize, *listenAddr, *coordAddr, *roundTO, tracer)
+		return workerRole(logger, g, part, *p, *seed, *poolSize, *listenAddr, *coordAddr, *roundTO, tracer, reg, *obsAddr, *linger)
 	}
 
 	var replayer *changelog.Replayer
@@ -428,12 +425,33 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			Transport:   transport.Config{RoundTimeout: *roundTO},
 			Logger:      logger,
 			Obs:         reg,
+			Spans:       obs.SinkOf(tracer),
 		})
 		if err != nil {
 			return err
 		}
 		defer coord.Close()
 		dep = &deployment{role: "coordinator", workers: coord.Workers}
+	}
+	// Batch modes serve the same observability endpoint as a session (with
+	// the session-specific probes reduced to process/cluster state): up
+	// before the first step, held open by -linger so one-shot runs stay
+	// scrapable after they settle.
+	if *obsAddr != "" && !*serve {
+		addr, shutdown, oerr := startObsServer(*obsAddr, obsMux(reg, nil, dep))
+		if oerr != nil {
+			return oerr
+		}
+		defer func() {
+			if *linger > 0 {
+				logger.Info("lingering before shutdown", "duration", *linger)
+				time.Sleep(*linger)
+			}
+			if serr := shutdown(); serr != nil {
+				logger.Warn("observability endpoint shutdown", "err", serr)
+			}
+		}()
+		logger.Info("observability endpoint up", "addr", addr)
 	}
 	wall := time.Now()
 	var scores centrality.Scores
@@ -788,7 +806,7 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 // receives SIGINT/SIGTERM (also a clean exit — the coordinator notices the
 // dropped connection and degrades; a restarted worker rejoins and catches
 // up from the replayed mutation log).
-func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner, p int, seed int64, poolWorkers int, listen, coordAddr string, roundTO time.Duration, tracer core.Tracer) error {
+func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner, p int, seed int64, poolWorkers int, listen, coordAddr string, roundTO time.Duration, tracer core.Tracer, reg *obs.Registry, obsAddr string, linger time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if listen == "" {
@@ -797,6 +815,24 @@ func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner,
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
+	}
+	// A worker exposes the same endpoint shape as the coordinator, scoped to
+	// its own process: engine/mesh metrics, its flight recorder, pprof.
+	if obsAddr != "" {
+		addr, shutdown, oerr := startObsServer(obsAddr, obsMux(reg, nil, &deployment{role: "worker"}))
+		if oerr != nil {
+			return oerr
+		}
+		defer func() {
+			if linger > 0 {
+				logger.Info("lingering before shutdown", "duration", linger)
+				time.Sleep(linger)
+			}
+			if serr := shutdown(); serr != nil {
+				logger.Warn("observability endpoint shutdown", "err", serr)
+			}
+		}()
+		logger.Info("observability endpoint up", "addr", addr)
 	}
 	logger.Info("worker mesh endpoint up", "mesh", ln.Addr(), "coordinator", coordAddr)
 	err = dist.RunWorker(ctx, dist.WorkerConfig{
@@ -809,6 +845,7 @@ func workerRole(logger *slog.Logger, g *graph.Graph, part partition.Partitioner,
 		PoolWorkers:  poolWorkers,
 		Transport:    transport.Config{RoundTimeout: roundTO},
 		Tracer:       tracer,
+		Obs:          reg,
 		Logger:       logger,
 	})
 	switch {

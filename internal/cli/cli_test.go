@@ -170,11 +170,8 @@ func TestAnalysisErrors(t *testing.T) {
 	if err := Analysis([]string{"-log-level", "nope"}, &out); err == nil {
 		t.Fatal("unknown log level accepted")
 	}
-	if err := Analysis([]string{"-obs-addr", ":0"}, &out); err == nil {
-		t.Fatal("-obs-addr without -serve accepted")
-	}
 	if err := Analysis([]string{"-linger", "1s"}, &out); err == nil {
-		t.Fatal("-linger without -serve accepted")
+		t.Fatal("-linger without -serve or -obs-addr accepted")
 	}
 	if err := Analysis([]string{"-ingest", "10"}, &out); err == nil {
 		t.Fatal("-ingest without -serve accepted")

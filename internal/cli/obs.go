@@ -20,19 +20,31 @@ type deployment struct {
 	workers func() []dist.WorkerInfo
 }
 
-// obsMux builds the observability endpoint for a live anytime session:
+// statuszEventTail bounds the flight-recorder excerpt rendered at the bottom
+// of /statusz; the full ring is always available at /debug/events.
+const statuszEventTail = 8
+
+// obsMux builds the observability endpoint:
 //
 //	/metrics       Prometheus text exposition of reg
 //	/healthz       200 while the orchestration goroutine runs, 503 after
-//	/statusz       human-readable one-page session status
+//	/statusz       human-readable one-page status with a flight-recorder tail
+//	/debug/events  the full flight-recorder ring as JSON
 //	/debug/pprof/  the usual Go profiling handlers
 //
-// Everything reads through the session's lock-free snapshot path, so a
+// s may be nil: batch runs and worker processes serve the same routes, with
+// /healthz reduced to a liveness probe and /statusz to process/cluster state.
+// With a session everything reads through its lock-free snapshot path, so a
 // scraper never blocks (or is blocked by) the analysis.
 func obsMux(reg *obs.Registry, s *anytime.Session, dep *deployment) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/events", obs.EventsHandler(reg.Events()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			fmt.Fprintf(w, "ok\n")
+			return
+		}
 		select {
 		case <-s.Done():
 			http.Error(w, "session stopped", http.StatusServiceUnavailable)
@@ -49,34 +61,40 @@ func obsMux(reg *obs.Registry, s *anytime.Session, dep *deployment) *http.ServeM
 		}
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
-		sn := s.Snapshot()
-		state := "running"
-		switch {
-		case sn.Converged:
-			state = "converged"
-		case sn.Degraded:
-			state = "degraded"
-		case sn.Exhausted:
-			state = "exhausted"
+		if s != nil {
+			fmt.Fprintf(w, "anytime closeness-centrality session\n\n")
+		} else {
+			fmt.Fprintf(w, "closeness-centrality batch analysis\n\n")
 		}
-		fmt.Fprintf(w, "anytime closeness-centrality session\n\n")
 		if dep != nil {
 			fmt.Fprintf(w, "role:      %s\n", dep.role)
 		} else {
 			fmt.Fprintf(w, "role:      single-process\n")
 		}
-		fmt.Fprintf(w, "state:     %s\n", state)
-		if sn.Degraded {
-			fmt.Fprintf(w, "fault:     %s\n", sn.Fault)
-		}
-		fmt.Fprintf(w, "epoch:     %d (age %s)\n", sn.Epoch, sn.Age().Round(time.Millisecond))
-		fmt.Fprintf(w, "rc steps:  %d\n", sn.Step)
-		fmt.Fprintf(w, "graph:     %d vertices, %d edges\n", sn.NumVertices, sn.NumEdges)
-		fmt.Fprintf(w, "traffic:   %d messages, %d bytes\n", sn.Stats.MessagesSent, sn.Stats.BytesSent)
-		known, total := sampleCoverage(sn, 64)
-		if total > 0 {
-			fmt.Fprintf(w, "coverage:  %.1f%% of sampled distance entries known (%d rows sampled)\n",
-				100*float64(known)/float64(total), min(64, len(sn.Vertices())))
+		if s != nil {
+			sn := s.Snapshot()
+			state := "running"
+			switch {
+			case sn.Converged:
+				state = "converged"
+			case sn.Degraded:
+				state = "degraded"
+			case sn.Exhausted:
+				state = "exhausted"
+			}
+			fmt.Fprintf(w, "state:     %s\n", state)
+			if sn.Degraded {
+				fmt.Fprintf(w, "fault:     %s\n", sn.Fault)
+			}
+			fmt.Fprintf(w, "epoch:     %d (age %s)\n", sn.Epoch, sn.Age().Round(time.Millisecond))
+			fmt.Fprintf(w, "rc steps:  %d\n", sn.Step)
+			fmt.Fprintf(w, "graph:     %d vertices, %d edges\n", sn.NumVertices, sn.NumEdges)
+			fmt.Fprintf(w, "traffic:   %d messages, %d bytes\n", sn.Stats.MessagesSent, sn.Stats.BytesSent)
+			known, total := sampleCoverage(sn, 64)
+			if total > 0 {
+				fmt.Fprintf(w, "coverage:  %.1f%% of sampled distance entries known (%d rows sampled)\n",
+					100*float64(known)/float64(total), min(64, len(sn.Vertices())))
+			}
 		}
 		if dep != nil && dep.workers != nil {
 			fmt.Fprintf(w, "\nworkers:\n")
@@ -86,6 +104,13 @@ func obsMux(reg *obs.Registry, s *anytime.Session, dep *deployment) *http.ServeM
 					status = "dead: " + wi.LastErr
 				}
 				fmt.Fprintf(w, "  %2d  %-21s  %s\n", wi.Index, wi.Addr, status)
+			}
+		}
+		if evs := reg.Events().Tail(statuszEventTail); len(evs) > 0 {
+			fmt.Fprintf(w, "\nrecent events (%d recorded, full ring at /debug/events):\n", reg.Events().Total())
+			for _, ev := range evs {
+				fmt.Fprintf(w, "  %s  %-9s  %-16s  trace=%-6d  %s\n",
+					ev.Time.Format("15:04:05.000"), ev.Component, ev.Kind, ev.Trace, ev.Detail)
 			}
 		}
 	})

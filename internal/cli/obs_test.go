@@ -165,3 +165,62 @@ func TestAnalysisServeObsAddr(t *testing.T) {
 		t.Fatalf("analysis report missing:\n%s", out.String())
 	}
 }
+
+// TestAnalysisBatchObsAddr: with the -serve restriction lifted, a one-shot
+// batch run exposes /metrics, /healthz, /statusz and /debug/events for its
+// lifetime, with -linger holding the endpoint open after the run settles.
+func TestAnalysisBatchObsAddr(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Analysis([]string{"-n", "100", "-p", "4",
+			"-obs-addr", "127.0.0.1:0", "-linger", "5s", "-top", "2"}, &out)
+	}()
+
+	addrRE := regexp.MustCompile(`msg="observability endpoint up" addr=([0-9.]+:[0-9]+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("endpoint address never logged:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The batch analysis races the scrape; wait for the report so the engine
+	// families have data.
+	reportDeadline := time.Now().Add(15 * time.Second)
+	for !strings.Contains(out.String(), "top 2 by closeness") {
+		if time.Now().After(reportDeadline) {
+			t.Fatalf("batch analysis never finished:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, body := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, fam := range []string{"aacc_engine_phase_seconds", "aacc_build_info", "aacc_process_start_time_seconds"} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("/metrics missing %s", fam)
+		}
+	}
+	if code, body := get(t, "http://"+addr+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q without a session", code, body)
+	}
+	if code, body := get(t, "http://"+addr+"/statusz"); code != http.StatusOK || !strings.Contains(body, "role:      single-process") {
+		t.Fatalf("/statusz = %d:\n%s", code, body)
+	}
+	if code, body := get(t, "http://"+addr+"/debug/events"); code != http.StatusOK || !strings.HasPrefix(body, "[") {
+		t.Fatalf("/debug/events = %d %q", code, body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

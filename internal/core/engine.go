@@ -126,6 +126,16 @@ type Engine struct {
 	opts Options
 	rt   runtime.Runtime // the execution runtime all phases run on
 	om   *engineObs      // live metrics, nil unless Options.Obs was set
+	// spans is Options.Tracer's span sink, cached at construction (nil when
+	// the tracer doesn't implement obs.SpanSink — the disabled path costs
+	// one nil check per phase). rec is the registry's flight recorder.
+	spans obs.SpanSink
+	rec   *obs.Recorder
+	// spanKey overrides the trace correlation key on emitted spans/events;
+	// 0 (default) falls back to the step number. The dist worker sets the
+	// cluster command seq here so worker-side engine phase spans line up
+	// with the coordinator's timeline.
+	spanKey uint64
 	// partial is non-nil when the runtime hosts only a slice of the
 	// processors in this process (a multi-process worker). Bookkeeping is
 	// still built for all P processors — determinism requires the same
@@ -362,6 +372,8 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	if pa, ok := rt.(runtime.Partial); ok {
 		e.partial = pa
 	}
+	e.spans = obs.SinkOf(opts.Tracer)
+	e.rec = opts.Obs.Events()
 	if opts.Obs != nil {
 		e.om = newEngineObs(opts.Obs)
 		e.om.workers.Set(float64(e.workers))
@@ -601,13 +613,19 @@ var ErrExchange = errors.New("core: exchange failed")
 // distances changed. The in-memory runtime never fails; wire runtimes can.
 func (e *Engine) Step() (StepReport, error) {
 	om := e.om
+	sp := e.spans
+	timed := om != nil || sp != nil
 	var t time.Time
-	if om != nil {
+	var key uint64
+	if timed {
 		t = time.Now()
+		if key = e.spanKey; key == 0 {
+			key = uint64(e.step + 1)
+		}
 	}
 	mail, rowsSent := e.collectPhase()
-	if om != nil {
-		t = om.observePhase(om.collect, t)
+	if timed {
+		t = e.phaseDone(om.histCollect(), "engine.collect", key, t, nil)
 	}
 	in, err := e.exchangePhase(mail)
 	if err != nil {
@@ -615,20 +633,24 @@ func (e *Engine) Step() (StepReport, error) {
 		if om != nil {
 			om.stepFailures.Inc()
 		}
+		if timed {
+			e.phaseDone(om.histExchange(), "engine.exchange", key, t, err)
+		}
+		e.rec.Record("core", "step-failure", key, fmt.Sprintf("step %d exchange failed: %v", e.step+1, err))
 		e.trace("fault", "step %d exchange failed: %v", e.step+1, err)
 		return StepReport{}, fmt.Errorf("%w: step %d: %w", ErrExchange, e.step+1, err)
 	}
 	e.step++
-	if om != nil {
-		t = om.observePhase(om.exchange, t)
+	if timed {
+		t = e.phaseDone(om.histExchange(), "engine.exchange", key, t, nil)
 	}
 	changed := e.installRelaxPhase(in)
-	if om != nil {
-		t = om.observePhase(om.install, t)
+	if timed {
+		t = e.phaseDone(om.histInstall(), "engine.install_relax", key, t, nil)
 	}
 	e.strategiesPhase(changed)
-	if om != nil {
-		om.observePhase(om.strategies, t)
+	if timed {
+		e.phaseDone(om.histStrategies(), "engine.strategies", key, t, nil)
 	}
 
 	rep := StepReport{Step: e.step}
@@ -750,6 +772,22 @@ func (e *Engine) Converged() bool { return e.conv }
 
 // StepCount returns the number of RC steps performed so far.
 func (e *Engine) StepCount() int { return e.step }
+
+// SetSpanKey sets the trace correlation key stamped on spans and
+// flight-recorder events emitted by subsequent Step/ApplyBatch calls. The
+// dist worker sets the cluster command seq before each command so
+// worker-side engine spans line up with the coordinator's timeline; 0 (the
+// default) falls back to the step number.
+func (e *Engine) SetSpanKey(k uint64) { e.spanKey = k }
+
+// SpanKey reports the current trace correlation key: the externally
+// assigned key if set (see SetSpanKey), else the step count.
+func (e *Engine) SpanKey() uint64 {
+	if e.spanKey != 0 {
+		return e.spanKey
+	}
+	return uint64(e.step)
+}
 
 // Graph returns a read-only view of the engine's live graph. The view always
 // reflects the current graph (it is not a copy), but exposes no mutating

@@ -256,10 +256,13 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // written into the batch's own Mutation values.
 func (e *Engine) ApplyBatch(b *Batch) error {
 	if err := b.Validate(); err != nil {
+		e.rec.Record("core", "batch-error", e.spanKey, fmt.Sprintf("validate: %v (nothing applied)", err))
 		return err
 	}
 	for i := range b.Ops {
 		if err := e.applyMutation(&b.Ops[i]); err != nil {
+			e.rec.Record("core", "batch-error", e.spanKey,
+				fmt.Sprintf("op %d/%d failed, committed prefix kept: %v", i, len(b.Ops), err))
 			return &BatchError{Index: i, Err: err}
 		}
 	}

@@ -98,11 +98,51 @@ func (e *Engine) shardImbReseed() *obs.Histogram {
 	return e.om.imbReseed
 }
 
-// observePhase records the time since t into h and returns the new phase
-// start, so Step threads one timestamp through its four phases.
-func (m *engineObs) observePhase(h *obs.Histogram, t time.Time) time.Time {
+// histCollect (and siblings) are nil-receiver-safe accessors for the phase
+// histograms, so Step can instrument phases when either metrics or span
+// tracing is enabled without branching on both.
+func (m *engineObs) histCollect() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.collect
+}
+
+func (m *engineObs) histExchange() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.exchange
+}
+
+func (m *engineObs) histInstall() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.install
+}
+
+func (m *engineObs) histStrategies() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.strategies
+}
+
+// phaseDone finishes one instrumented RC-step phase: the duration since t
+// lands in h (nil-safe) and, when span tracing is on, a span keyed by the
+// trace correlation key goes to the sink. Returns the next phase's start.
+func (e *Engine) phaseDone(h *obs.Histogram, name string, key uint64, t time.Time, failed error) time.Time {
 	now := time.Now()
-	h.Observe(now.Sub(t).Seconds())
+	d := now.Sub(t)
+	h.Observe(d.Seconds())
+	if e.spans != nil {
+		sp := obs.Span{Trace: key, Component: "engine", Name: name, Start: t, Dur: d}
+		if failed != nil {
+			sp.Err = failed.Error()
+		}
+		e.spans.Span(sp)
+	}
 	return now
 }
 

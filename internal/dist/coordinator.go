@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aacc/internal/cluster"
@@ -40,8 +41,16 @@ type Config struct {
 	JoinTimeout time.Duration
 	// Logger, when set, narrates joins, failures and kills.
 	Logger *slog.Logger
-	// Obs, when set, receives cluster-level gauges (workers alive, rejoins).
+	// Obs, when set, receives cluster-level gauges (workers alive, rejoins)
+	// plus the per-worker aacc_cluster_worker_* families re-exported from the
+	// metric snapshots workers piggyback on their result replies. Its flight
+	// recorder collects worker-lost/expelled/rejoin events.
 	Obs *obs.Registry
+	// Spans, when set, receives coordinator command spans (coord.step,
+	// coord.mutate, coord.resync, coord.collect) and the per-command worker
+	// spans relayed over the control connection, all keyed by the collective
+	// sequence number so one command can be followed across processes.
+	Spans obs.SpanSink
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +89,10 @@ type workerState struct {
 	lastErr  string
 	stats    cluster.Stats
 	rows     map[graph.ID][]int32 // last reported distance rows (kept after death)
+	// metricsAt is when the worker's last piggybacked metric snapshot
+	// arrived, unix nanos. Atomic because the staleness GaugeFunc reads it at
+	// scrape time without the coordinator mutex.
+	metricsAt atomic.Int64
 }
 
 // Coordinator drives a cluster of worker processes and implements the same
@@ -105,8 +118,12 @@ type Coordinator struct {
 
 	acceptDone chan struct{}
 
-	obAlive   *obs.Gauge
-	obRejoins *obs.Counter
+	rec   *obs.Recorder // flight recorder (nil-safe; rides cfg.Obs)
+	spans obs.SpanSink  // cfg.Spans, cached
+
+	obAlive       *obs.Gauge
+	obRejoins     *obs.Counter
+	obConvergence *obs.Gauge
 }
 
 // NewCoordinator forms the cluster: it accepts cfg.Workers control
@@ -126,9 +143,13 @@ func NewCoordinator(ln net.Listener, g *graph.Graph, cfg Config) (*Coordinator, 
 		g:          g,
 		acceptDone: make(chan struct{}),
 	}
+	c.rec = cfg.Obs.Events()
+	c.spans = cfg.Spans
 	if cfg.Obs != nil {
 		c.obAlive = cfg.Obs.Gauge("aacc_dist_workers_alive", "control connections currently healthy")
 		c.obRejoins = cfg.Obs.Counter("aacc_dist_worker_rejoins_total", "workers re-admitted after a crash")
+		c.obConvergence = cfg.Obs.Gauge("aacc_cluster_convergence_progress",
+			"fraction of workers reporting their resident slice converged on the last command")
 	}
 	if err := c.form(); err != nil {
 		ln.Close()
@@ -198,6 +219,7 @@ func (c *Coordinator) form() error {
 			return fmt.Errorf("dist: worker %d failed to build its engine: %s", i, res.Err)
 		}
 		ws.stats = res.Stats
+		c.noteWorkerMetrics(i, &res)
 	}
 	c.noteAlive()
 	c.cfg.Logger.Info("cluster formed", "workers", w, "p", c.cfg.P)
@@ -333,12 +355,15 @@ func (c *Coordinator) readmit(cn *conn, join joinBody, deadline time.Time) error
 	ws.alive = true
 	ws.lastErr = ""
 	ws.stats = res.Stats
+	c.noteWorkerMetrics(ws.index, &res)
 	c.pendingResync = true
 	c.converged = false
 	c.noteAlive()
 	if c.obRejoins != nil {
 		c.obRejoins.Inc()
 	}
+	c.rec.Record("dist", "worker-rejoin", uint64(c.seq),
+		fmt.Sprintf("worker %d (%s) rebuilt from %d replayed ops at seq %d", ws.index, ws.meshAddr, len(replay), c.seq))
 	c.cfg.Logger.Info("worker rejoined", "index", ws.index, "mesh", ws.meshAddr, "replayed", len(replay))
 	return nil
 }
@@ -379,20 +404,127 @@ func (c *Coordinator) markDead(ws *workerState, reason string) {
 		ws.cn.Close()
 	}
 	c.noteAlive()
+	c.rec.Record("dist", "worker-lost", uint64(c.seq),
+		fmt.Sprintf("worker %d (%s): %s", ws.index, ws.meshAddr, reason))
 	c.cfg.Logger.Warn("worker lost", "index", ws.index, "mesh", ws.meshAddr, "reason", reason)
 }
 
 func (c *Coordinator) noteAlive() {
-	if c.obAlive == nil {
-		return
-	}
 	n := 0
 	for _, w := range c.ws {
 		if w.alive {
 			n++
 		}
+		if c.cfg.Obs != nil {
+			up := 0.0
+			if w.alive {
+				up = 1
+			}
+			c.cfg.Obs.Gauge("aacc_cluster_worker_up", "1 while the worker's control connection is healthy",
+				obs.L("worker", strconv.Itoa(w.index))).Set(up)
+		}
 	}
-	c.obAlive.Set(float64(n))
+	if c.obAlive != nil {
+		c.obAlive.Set(float64(n))
+	}
+}
+
+// noteWorkerMetrics re-exports one worker's piggybacked metric snapshot as
+// per-worker-labeled gauge families. The gauge lookups are idempotent child
+// fetches — registration cost is paid once per worker, and this runs on the
+// control path, never per row. Callers hold c.mu.
+func (c *Coordinator) noteWorkerMetrics(idx int, res *resultBody) {
+	if res.Metrics == nil {
+		return
+	}
+	c.ws[idx].metricsAt.Store(time.Now().UnixNano())
+	if c.cfg.Obs == nil {
+		return
+	}
+	m := res.Metrics
+	lbl := obs.L("worker", strconv.Itoa(idx))
+	set := func(name, help string, v float64) {
+		c.cfg.Obs.Gauge(name, help, lbl).Set(v)
+	}
+	set("aacc_cluster_worker_uptime_seconds", "worker process uptime from its last snapshot", m.UptimeSeconds)
+	set("aacc_cluster_worker_heap_bytes", "worker heap in use from its last snapshot", float64(m.HeapBytes))
+	set("aacc_cluster_worker_goroutines", "goroutines in the worker process", float64(m.Goroutines))
+	set("aacc_cluster_worker_pool_workers", "intra-process pool size on the worker", float64(m.PoolWorkers))
+	set("aacc_cluster_worker_resident_procs", "simulated processors resident on the worker", float64(m.ResidentProcs))
+	set("aacc_cluster_worker_steps", "RC steps the worker's engine has run", float64(res.Step))
+	set("aacc_cluster_worker_step_failures", "failed engine steps reported by the worker", m.StepFailures)
+	set("aacc_cluster_worker_wire_rounds", "exchange wire rounds the worker has driven", m.WireRounds)
+	set("aacc_cluster_worker_wire_round_failures", "aborted exchange wire rounds on the worker", m.WireRoundFailures)
+	set("aacc_cluster_worker_wire_retries", "wire round retries on the worker", m.WireRetries)
+	conv := 0.0
+	if res.Converged {
+		conv = 1
+	}
+	set("aacc_cluster_worker_converged", "1 while the worker's resident slice is converged", conv)
+	// Staleness is computed at scrape time from the atomic timestamp, so a
+	// worker that stops reporting shows a growing age instead of a frozen
+	// snapshot. First registration wins; re-registering is a no-op.
+	ws := c.ws[idx]
+	c.cfg.Obs.GaugeFunc("aacc_cluster_worker_metrics_age_seconds",
+		"seconds since this worker's last piggybacked metric snapshot", func() float64 {
+			t := ws.metricsAt.Load()
+			if t == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, t)).Seconds()
+		}, lbl)
+}
+
+// relaySpans re-emits the spans a worker piggybacked on its result, tagged
+// with the worker's index and the command's collective sequence number so
+// they correlate with the coordinator's own command span and the session's
+// events. Callers hold c.mu.
+func (c *Coordinator) relaySpans(cmdSeq uint64, idx int, spans []wireSpan) {
+	if c.spans == nil {
+		return
+	}
+	comp := "worker." + strconv.Itoa(idx)
+	for _, sp := range spans {
+		c.spans.Span(obs.Span{
+			Trace:     cmdSeq,
+			Component: comp,
+			Name:      sp.Name,
+			Start:     time.UnixMicro(sp.StartUnixMicro),
+			Dur:       time.Duration(sp.DurMicros) * time.Microsecond,
+			Err:       sp.Err,
+		})
+	}
+}
+
+// coordSpan emits one coordinator-side command span keyed by the command's
+// collective sequence number.
+func (c *Coordinator) coordSpan(name string, seq uint32, start time.Time, detail string, err error) {
+	if c.spans == nil {
+		return
+	}
+	sp := obs.Span{
+		Trace:     uint64(seq),
+		Component: "coord",
+		Name:      name,
+		Start:     start,
+		Dur:       time.Since(start),
+		Detail:    detail,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	c.spans.Span(sp)
+}
+
+// SpanKey reports the next collective sequence number as the cluster's trace
+// correlation key. The session layer discovers this method by interface
+// assertion and keys its own events and spans with it, so a session-level
+// degradation lines up with the coordinator and worker spans of the command
+// that caused it.
+func (c *Coordinator) SpanKey() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint64(c.seq)
 }
 
 // outcome is one worker's result for one driven command.
@@ -538,10 +670,13 @@ func (c *Coordinator) settle(outs map[int]outcome) (*resultBody, error) {
 	groups := make(map[consensusKey][]int)
 	errGroups := make(map[consensusKey][]int)
 	var firstErr string
+	cmdSeq := uint64(c.seq) // the seq this command ran under (updated below)
 	for idx, o := range outs {
 		if o.res == nil {
 			continue
 		}
+		c.relaySpans(cmdSeq, idx, o.res.Spans)
+		c.noteWorkerMetrics(idx, o.res)
 		if o.res.Err == "" {
 			groups[keyOf(o.res)] = append(groups[keyOf(o.res)], idx)
 		} else {
@@ -591,6 +726,15 @@ func (c *Coordinator) settle(outs map[int]outcome) (*resultBody, error) {
 		rep.NextSeq, rep.Step, rep.N, rep.M = key.nextSeq, c.stepCount, key.n, key.m
 		c.seq = key.nextSeq
 		c.converged = rep.Converged
+		if c.obConvergence != nil {
+			conv := 0
+			for _, idx := range winners {
+				if outs[idx].res.Converged {
+					conv++
+				}
+			}
+			c.obConvergence.Set(float64(conv) / float64(len(c.ws)))
+		}
 		return &rep, nil
 	}
 	if len(errGroups) > 0 {
@@ -627,6 +771,8 @@ func (c *Coordinator) settle(outs map[int]outcome) (*resultBody, error) {
 // back through the rejoin/replay path. Callers hold c.mu.
 func (c *Coordinator) expel(idx int, reason string) {
 	ws := c.ws[idx]
+	c.rec.Record("dist", "worker-expelled", uint64(c.seq),
+		fmt.Sprintf("worker %d (%s): %s", idx, ws.meshAddr, reason))
 	c.cfg.Logger.Warn("worker expelled", "index", idx, "reason", reason)
 	c.markDead(ws, reason)
 }
@@ -654,10 +800,14 @@ func (c *Coordinator) preflight() error {
 	// of every row on every worker so the next rounds rebuild the exchange
 	// invariants from scratch.
 	seq := c.seq
+	start := time.Now()
+	c.rec.Record("dist", "resync", uint64(seq), "full row resend after rejoin")
 	outs := c.drive(func(ws *workerState) error {
 		return ws.cn.send(mResync, resyncBody{Seq: seq}, time.Now().Add(30*time.Second))
 	})
-	if _, err := c.settle(outs); err != nil {
+	_, err := c.settle(outs)
+	c.coordSpan("coord.resync", seq, start, "full row resend after rejoin", err)
+	if err != nil {
 		return fmt.Errorf("dist: resync after rejoin: %v: %w", err, core.ErrExchange)
 	}
 	c.pendingResync = false
@@ -678,13 +828,17 @@ func (c *Coordinator) Step() (core.StepReport, error) {
 		return core.StepReport{}, err
 	}
 	seq := c.seq
+	start := time.Now()
 	outs := c.drive(func(ws *workerState) error {
 		return ws.cn.send(mStep, stepBody{Seq: seq}, time.Now().Add(30*time.Second))
 	})
 	win, err := c.settle(outs)
 	if err != nil {
+		c.coordSpan("coord.step", seq, start, "", err)
 		return core.StepReport{}, fmt.Errorf("dist: step: %v: %w", err, core.ErrExchange)
 	}
+	c.coordSpan("coord.step", seq, start,
+		fmt.Sprintf("step %d: %d rows sent, %d changed", win.Step, win.RowsSent, win.RowsChanged), nil)
 	return core.StepReport{
 		Step:         win.Step,
 		RowsSent:     win.RowsSent,
@@ -715,10 +869,12 @@ func (c *Coordinator) mutateBatch(ops []Op) (int, error) {
 		return 0, err
 	}
 	seq := c.seq
+	start := time.Now()
 	outs := c.drive(func(ws *workerState) error {
 		return ws.cn.send(mMutate, mutateBody{Seq: seq, Ops: ops}, time.Now().Add(30*time.Second))
 	})
 	win, err := c.settle(outs)
+	c.coordSpan("coord.mutate", seq, start, fmt.Sprintf("%d logged ops", len(ops)), err)
 	if err != nil {
 		failed := 0
 		if win != nil {
@@ -899,6 +1055,7 @@ func (c *Coordinator) Stats() cluster.Stats {
 func (c *Coordinator) Distances() map[graph.ID][]int32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	deadline := time.Now().Add(c.cfg.commandTimeout())
 	for _, w := range c.ws {
 		if !w.alive {
@@ -925,11 +1082,17 @@ func (c *Coordinator) Distances() map[graph.ID][]int32 {
 		w.rows = rows
 	}
 	all := make(map[graph.ID][]int32)
+	live := 0
 	for _, w := range c.ws {
+		if w.alive {
+			live++
+		}
 		for id, row := range w.rows {
 			all[id] = row
 		}
 	}
+	c.coordSpan("coord.collect", c.seq, start,
+		fmt.Sprintf("%d rows from %d/%d live workers", len(all), live, len(c.ws)), nil)
 	return all
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"aacc/internal/core"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
+	"aacc/internal/obs"
 	"aacc/internal/partition"
 	"aacc/internal/transport"
 )
@@ -38,6 +40,13 @@ func listen(t *testing.T) net.Listener {
 // returns its mesh address and exit channel. addr == "" binds a new port;
 // a restart passes the dead worker's address to reclaim its identity.
 func startWorker(t *testing.T, ctx context.Context, coordAddr, addr string, base *graph.Graph) (string, chan error) {
+	t.Helper()
+	return startWorkerObs(t, ctx, coordAddr, addr, base, nil)
+}
+
+// startWorkerObs is startWorker with a worker-side metrics registry, so the
+// piggybacked snapshot carries real engine/mesh counters.
+func startWorkerObs(t *testing.T, ctx context.Context, coordAddr, addr string, base *graph.Graph, reg *obs.Registry) (string, chan error) {
 	t.Helper()
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -69,6 +78,7 @@ func startWorker(t *testing.T, ctx context.Context, coordAddr, addr string, base
 			PoolWorkers: 2,
 			Transport:   transport.Config{RoundTimeout: 2 * time.Second},
 			DialTimeout: 15 * time.Second,
+			Obs:         reg,
 		})
 	}()
 	return ln.Addr().String(), done
@@ -288,6 +298,178 @@ func TestWorkerCrashRejoin(t *testing.T) {
 
 	if err := sess.Close(); err != nil {
 		t.Fatalf("session close: %v", err)
+	}
+	for i, done := range []chan error{done0, done1} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exit: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit after close", i)
+		}
+	}
+}
+
+// spanLog is a thread-safe obs.SpanSink for assertions.
+type spanLog struct {
+	mu    sync.Mutex
+	spans []obs.Span
+}
+
+func (s *spanLog) Span(sp obs.Span) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+}
+
+func (s *spanLog) all() []obs.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.Span(nil), s.spans...)
+}
+
+// TestClusterObservability pins the tentpole's cluster surface end to end:
+// one coordinator /metrics scrape exposes per-worker-labeled
+// aacc_cluster_worker_* families fed by the snapshots workers piggyback on
+// their replies, the coordinator's span sink correlates coord.step with the
+// relayed worker.N spans under one trace key, and a kill → notice → rejoin →
+// resync incident lands in the flight recorder with its sequence numbers.
+func TestClusterObservability(t *testing.T) {
+	base := testGraph(80)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln := listen(t)
+	coordAddr := ln.Addr().String()
+	_, done0 := startWorkerObs(t, ctx, coordAddr, "", base, obs.NewRegistry())
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	meshAddr, done1 := startWorkerObs(t, wctx, coordAddr, "", base, obs.NewRegistry())
+
+	reg := obs.NewRegistry()
+	spans := &spanLog{}
+	coord, err := NewCoordinator(ln, base.Clone(), Config{
+		Workers:     2,
+		P:           testP,
+		Seed:        testSeed,
+		Partitioner: "multilevel",
+		Transport:   transport.Config{RoundTimeout: 2 * time.Second},
+		JoinTimeout: 30 * time.Second,
+		Obs:         reg,
+		Spans:       spans,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	converge(t, "cluster", func() error { _, err := coord.Step(); return err }, coord.Converged)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`aacc_cluster_worker_up{worker="0"} 1`,
+		`aacc_cluster_worker_up{worker="1"} 1`,
+		`aacc_cluster_worker_resident_procs{worker="0"} 2`,
+		`aacc_cluster_worker_steps{worker="0"}`,
+		`aacc_cluster_worker_metrics_age_seconds{worker="1"}`,
+		`aacc_cluster_convergence_progress 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coordinator exposition missing %q", want)
+		}
+	}
+	// Both workers run with registries, so their snapshots carry real mesh
+	// counters and the re-exported gauges must be nonzero.
+	for _, w := range []string{"0", "1"} {
+		if v := reg.Gauge("aacc_cluster_worker_wire_rounds", "", obs.L("worker", w)).Value(); v == 0 {
+			t.Errorf("aacc_cluster_worker_wire_rounds{worker=%s} stayed 0 despite the worker-side registry", w)
+		}
+	}
+
+	// Span correlation: at least one trace key carries the coordinator's
+	// command span AND both workers' relayed spans.
+	byTrace := map[uint64]map[string]bool{}
+	for _, sp := range spans.all() {
+		m := byTrace[sp.Trace]
+		if m == nil {
+			m = map[string]bool{}
+			byTrace[sp.Trace] = m
+		}
+		m[sp.Component+"/"+sp.Name] = true
+	}
+	correlated := false
+	for _, m := range byTrace {
+		if m["coord/coord.step"] && m["worker.0/worker.step"] && m["worker.1/worker.step"] {
+			correlated = true
+			break
+		}
+	}
+	if !correlated {
+		t.Errorf("no trace key correlates coord.step with both relayed worker spans: %v", byTrace)
+	}
+
+	// Kill worker 1 and drive until the coordinator notices; the death, the
+	// rejoin and the resync must land in the flight recorder.
+	wcancel()
+	select {
+	case <-done1:
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed worker did not exit")
+	}
+	noticed := false
+	for i := 0; i < 10 && !noticed; i++ {
+		_, err := coord.Step()
+		noticed = err != nil
+	}
+	if !noticed {
+		t.Fatal("coordinator never noticed the dead worker")
+	}
+	_, done1 = startWorker(t, ctx, coordAddr, meshAddr, base)
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		alive := 0
+		for _, wi := range coord.Workers() {
+			if wi.Alive {
+				alive++
+			}
+		}
+		if alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker did not rejoin")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := coord.Step(); err != nil {
+		t.Fatalf("step after rejoin: %v", err)
+	}
+
+	kinds := map[string]uint64{} // kind -> a trace (seq) it was recorded under
+	for _, ev := range reg.Events().Events() {
+		kinds[ev.Kind] = ev.Trace
+	}
+	for _, k := range []string{"worker-lost", "worker-rejoin", "resync"} {
+		tr, ok := kinds[k]
+		if !ok {
+			t.Errorf("flight recorder missing %q event (have %v)", k, kinds)
+			continue
+		}
+		if tr == 0 {
+			t.Errorf("%q event has no sequence-number trace", k)
+		}
+	}
+
+	if v := reg.Gauge("aacc_cluster_worker_up", "", obs.L("worker", "1")).Value(); v != 1 {
+		t.Errorf("aacc_cluster_worker_up{worker=1} = %v after rejoin, want 1", v)
+	}
+
+	if err := coord.Close(); err != nil {
+		t.Fatalf("close: %v", err)
 	}
 	for i, done := range []chan error{done0, done1} {
 		select {

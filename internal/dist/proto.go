@@ -120,6 +120,39 @@ type resultBody struct {
 	RowsChanged  int           `json:",omitempty"`
 	MessagesSent int           `json:",omitempty"`
 	Stats        cluster.Stats `json:",omitempty"`
+	// Metrics is the worker's compact metric snapshot, piggybacked on every
+	// ready/result reply (protocol v3). The coordinator re-exports it as
+	// per-worker-labeled aacc_cluster_worker_* families, so one scrape of
+	// the coordinator covers the whole deployment.
+	Metrics *wireMetrics `json:",omitempty"`
+	// Spans are the worker-side spans of this command (protocol v3),
+	// relayed into the coordinator's trace keyed by the command seq.
+	Spans []wireSpan `json:",omitempty"`
+}
+
+// wireMetrics is a worker's federated metric snapshot: cheap,
+// runtime-derived health figures a coordinator scrape should surface
+// without having to reach every worker's own obs endpoint.
+type wireMetrics struct {
+	UptimeSeconds     float64 `json:",omitempty"`
+	HeapBytes         uint64  `json:",omitempty"`
+	Goroutines        int     `json:",omitempty"`
+	PoolWorkers       int     `json:",omitempty"`
+	ResidentProcs     int     `json:",omitempty"`
+	StepFailures      float64 `json:",omitempty"`
+	WireRounds        float64 `json:",omitempty"`
+	WireRoundFailures float64 `json:",omitempty"`
+	WireRetries       float64 `json:",omitempty"`
+}
+
+// wireSpan is one worker-side span carried on a result reply. The trace
+// key is implicit (the command's seq); Start is Unix microseconds so the
+// wire form stays compact and timezone-free.
+type wireSpan struct {
+	Name           string
+	StartUnixMicro int64
+	DurMicros      int64
+	Err            string `json:",omitempty"`
 }
 
 type statusBody struct {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	goruntime "runtime"
 	"time"
 
 	"aacc/internal/core"
@@ -169,7 +170,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	})
 	if err != nil {
 		mesh.Close()
-		return reportReady(cn, nil, nil, fmt.Errorf("building engine: %w", err))
+		return reportReady(cn, nil, nil, nil, fmt.Errorf("building engine: %w", err))
 	}
 	defer eng.Close() // closes the mesh through the runtime
 
@@ -209,7 +210,13 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		return nil
 	})
 
-	if err := reportReady(cn, eng, rrt, replayErr); err != nil {
+	wt := &workerTelemetry{
+		start:    time.Now(),
+		cfg:      cfg,
+		resident: assign.Hi - assign.Lo,
+		spans:    obs.SinkOf(cfg.Tracer),
+	}
+	if err := reportReady(cn, eng, rrt, wt, replayErr); err != nil {
 		return err
 	}
 	if replayErr != nil {
@@ -217,12 +224,74 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 	cfg.Logger.Info("worker ready", "index", assign.Index)
 
-	return serve(ctx, cfg, cn, eng, rrt)
+	return serve(ctx, cfg, cn, eng, rrt, wt)
+}
+
+// workerTelemetry assembles the observability payload piggybacked on every
+// command reply: the federated metric snapshot and the command's span.
+type workerTelemetry struct {
+	start    time.Time
+	cfg      WorkerConfig
+	resident int
+	spans    obs.SpanSink // local tracer's span sink, nil when tracing is off
+}
+
+// snapshot builds the compact metric snapshot the coordinator re-exports
+// as aacc_cluster_worker_* families. Counter reads go through the
+// registry's idempotent registration, so they see whatever the engine and
+// mesh have accumulated; without a registry those report zero.
+func (wt *workerTelemetry) snapshot() *wireMetrics {
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	pool := wt.cfg.PoolWorkers
+	if pool < 1 {
+		pool = 1
+	}
+	wm := &wireMetrics{
+		UptimeSeconds: time.Since(wt.start).Seconds(),
+		HeapBytes:     ms.HeapAlloc,
+		Goroutines:    goruntime.NumGoroutine(),
+		PoolWorkers:   pool,
+		ResidentProcs: wt.resident,
+	}
+	if reg := wt.cfg.Obs; reg != nil {
+		wm.StepFailures = reg.Counter("aacc_engine_step_failures_total", "").Value()
+		wm.WireRounds = reg.Counter("aacc_transport_wire_rounds_total", "").Value()
+		wm.WireRoundFailures = reg.Counter("aacc_transport_wire_round_failures_total", "").Value()
+		wm.WireRetries = reg.Counter("aacc_transport_retries_total", "").Value()
+	}
+	return wm
+}
+
+// commandSpan closes out one command's span: emitted into the worker's own
+// trace (component "worker") and returned in wire form for the coordinator
+// to relay under the shared command seq.
+func (wt *workerTelemetry) commandSpan(name string, seq uint32, begin time.Time, cmdErr error) []wireSpan {
+	d := time.Since(begin)
+	ws := wireSpan{
+		Name:           name,
+		StartUnixMicro: begin.UnixMicro(),
+		DurMicros:      d.Microseconds(),
+	}
+	if cmdErr != nil {
+		ws.Err = cmdErr.Error()
+	}
+	if wt.spans != nil {
+		wt.spans.Span(obs.Span{
+			Trace:     uint64(seq),
+			Component: "worker",
+			Name:      name,
+			Start:     begin,
+			Dur:       d,
+			Err:       ws.Err,
+		})
+	}
+	return []wireSpan{ws}
 }
 
 // serve is the worker's command loop: block on the control connection, run
 // each command against the local engine, answer with the outcome.
-func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rrt *runtime.Remote) error {
+func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rrt *runtime.Remote, wt *workerTelemetry) error {
 	for {
 		kind, body, err := cn.recv(time.Time{})
 		if err != nil {
@@ -238,8 +307,11 @@ func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rr
 				return fmt.Errorf("dist: decoding step: %w", err)
 			}
 			rrt.SetBaseSeq(cmd.Seq)
+			eng.SetSpanKey(uint64(cmd.Seq))
+			begin := time.Now()
 			rep, stepErr := eng.Step()
-			res := result(eng, rrt, stepErr)
+			res := result(eng, rrt, wt, stepErr)
+			res.Spans = wt.commandSpan("worker.step", cmd.Seq, begin, stepErr)
 			res.RowsSent, res.RowsChanged, res.MessagesSent = rep.RowsSent, rep.RowsChanged, rep.MessagesSent
 			if err := cn.send(mResult, res, sendDL(cfg)); err != nil {
 				return err
@@ -250,6 +322,8 @@ func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rr
 				return fmt.Errorf("dist: decoding mutate: %w", err)
 			}
 			rrt.SetBaseSeq(cmd.Seq)
+			eng.SetSpanKey(uint64(cmd.Seq))
+			begin := time.Now()
 			// Committed-prefix batch: stop at the first failing op and
 			// report its index; everything before it stays applied.
 			var opErr error
@@ -260,7 +334,8 @@ func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rr
 					break
 				}
 			}
-			res := result(eng, rrt, opErr)
+			res := result(eng, rrt, wt, opErr)
+			res.Spans = wt.commandSpan("worker.mutate", cmd.Seq, begin, opErr)
 			if opErr != nil {
 				res.FailedOp = failed
 			}
@@ -273,8 +348,12 @@ func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rr
 				return fmt.Errorf("dist: decoding resync: %w", err)
 			}
 			rrt.SetBaseSeq(cmd.Seq)
+			eng.SetSpanKey(uint64(cmd.Seq))
+			begin := time.Now()
 			eng.ForceResend()
-			if err := cn.send(mResult, result(eng, rrt, nil), sendDL(cfg)); err != nil {
+			res := result(eng, rrt, wt, nil)
+			res.Spans = wt.commandSpan("worker.resync", cmd.Seq, begin, nil)
+			if err := cn.send(mResult, res, sendDL(cfg)); err != nil {
 				return err
 			}
 		case mReport:
@@ -294,8 +373,8 @@ func serve(ctx context.Context, cfg WorkerConfig, cn *conn, eng *core.Engine, rr
 func sendDL(cfg WorkerConfig) time.Time { return time.Now().Add(30 * time.Second) }
 
 // result summarises the engine state after a command for the coordinator's
-// consensus check.
-func result(eng *core.Engine, rrt *runtime.Remote, opErr error) resultBody {
+// consensus check, plus the worker's piggybacked metric snapshot.
+func result(eng *core.Engine, rrt *runtime.Remote, wt *workerTelemetry, opErr error) resultBody {
 	g := eng.Graph()
 	res := resultBody{
 		NextSeq:   rrt.NextSeq(),
@@ -304,6 +383,7 @@ func result(eng *core.Engine, rrt *runtime.Remote, opErr error) resultBody {
 		N:         g.NumVertices(),
 		M:         g.NumEdges(),
 		Stats:     eng.Stats(),
+		Metrics:   wt.snapshot(),
 	}
 	if opErr != nil {
 		res.Err = opErr.Error()
@@ -313,10 +393,10 @@ func result(eng *core.Engine, rrt *runtime.Remote, opErr error) resultBody {
 
 // reportReady answers the assignment with mReady. A nil engine means the
 // build itself failed; the coordinator sees the error and gives up on us.
-func reportReady(cn *conn, eng *core.Engine, rrt *runtime.Remote, buildErr error) error {
+func reportReady(cn *conn, eng *core.Engine, rrt *runtime.Remote, wt *workerTelemetry, buildErr error) error {
 	res := resultBody{}
 	if eng != nil {
-		res = result(eng, rrt, buildErr)
+		res = result(eng, rrt, wt, buildErr)
 	} else if buildErr != nil {
 		res.Err = buildErr.Error()
 	}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRingSemantics(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		r.Record("core", "k", uint64(i), fmt.Sprintf("e%d", i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first, with the first two overwritten.
+	for i, ev := range evs {
+		wantSeq := uint64(i + 3)
+		if ev.Seq != wantSeq || ev.Trace != wantSeq {
+			t.Fatalf("event %d: seq=%d trace=%d, want %d", i, ev.Seq, ev.Trace, wantSeq)
+		}
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	tail := r.Tail(2)
+	if len(tail) != 2 || tail[0].Seq != 5 || tail[1].Seq != 6 {
+		t.Fatalf("tail(2) wrong: %+v", tail)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("core", "k", 0, "ignored")
+	if r.Events() != nil || r.Tail(3) != nil || r.Total() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	var reg *Registry
+	// The chained nil-safe form used at call sites.
+	reg.Events().Record("core", "k", 0, "ignored")
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record("t", "k", uint64(w), "x")
+				if i%100 == 0 {
+					r.Tail(8)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", r.Total(), workers*per)
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestRegistryCarriesRecorder(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Events() == nil {
+		t.Fatal("NewRegistry has no recorder")
+	}
+	reg.Events().Record("session", "degraded", 42, "exchange: boom")
+	evs := reg.Events().Events()
+	if len(evs) != 1 || evs[0].Kind != "degraded" || evs[0].Trace != 42 {
+		t.Fatalf("recorded event wrong: %+v", evs)
+	}
+}
+
+func TestEventsHandler(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Record("coordinator", "worker-lost", 7, "worker 0: read: EOF")
+	srv := httptest.NewServer(EventsHandler(rec))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var evs []Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != "worker-lost" || evs[0].Trace != 7 || evs[0].Component != "coordinator" {
+		t.Fatalf("decoded events wrong: %+v", evs)
+	}
+
+	// Nil recorder: an empty JSON array, not null.
+	srv2 := httptest.NewServer(EventsHandler(nil))
+	defer srv2.Close()
+	resp2, err := srv2.Client().Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var evs2 []Event
+	if err := json.NewDecoder(resp2.Body).Decode(&evs2); err != nil {
+		t.Fatal(err)
+	}
+	if evs2 == nil || len(evs2) != 0 {
+		t.Fatalf("nil recorder served %v", evs2)
+	}
+}

@@ -46,6 +46,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&sb, "%s%s %s\n", f.name, k, formatFloat(c.Value()))
 			case *Gauge:
 				fmt.Fprintf(&sb, "%s%s %s\n", f.name, k, formatFloat(c.Value()))
+			case *FuncGauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, k, formatFloat(c.Value()))
 			case *Histogram:
 				writeHistogram(&sb, f.name, f.labels[k], c)
 			}

@@ -22,7 +22,9 @@ package obs
 import (
 	"fmt"
 	"math"
+	goruntime "runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -196,11 +198,43 @@ type family struct {
 type Registry struct {
 	mu   sync.Mutex
 	fams map[string]*family
+	rec  *Recorder
 }
 
-// NewRegistry returns an empty registry.
+// processStart is captured once at process init so every registry reports
+// the same start time regardless of when it was constructed.
+var processStart = time.Now()
+
+// NewRegistry returns a registry pre-populated with process identity
+// metrics (aacc_build_info, aacc_process_start_time_seconds) and an
+// attached flight recorder (see Events).
 func NewRegistry() *Registry {
+	r := newBareRegistry()
+	r.rec = NewRecorder(DefRecorderSize)
+	r.Gauge("aacc_build_info",
+		"Process identity: constant 1, labeled with the Go runtime version and GOMAXPROCS.",
+		L("goversion", goruntime.Version()),
+		L("gomaxprocs", strconv.Itoa(goruntime.GOMAXPROCS(0)))).Set(1)
+	r.Gauge("aacc_process_start_time_seconds",
+		"Unix time the process started, in seconds.").
+		Set(float64(processStart.UnixNano()) / 1e9)
+	return r
+}
+
+// newBareRegistry returns an empty registry with no process metadata and no
+// recorder — used by golden tests that pin exact exposition output.
+func newBareRegistry() *Registry {
 	return &Registry{fams: make(map[string]*family)}
+}
+
+// Events returns the registry's flight recorder. Nil-safe: a nil registry
+// returns a nil recorder, whose methods are no-ops in turn, so call sites
+// can record unconditionally via reg.Events().Record(...).
+func (r *Registry) Events() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.rec
 }
 
 // std is the package-level default registry, for components without an
@@ -261,6 +295,31 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	f := r.family(name, help, gaugeKind, nil)
 	return f.child(labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// FuncGauge is a gauge whose value is computed by a callback at scrape
+// time. Use it for values that are derived from live state (snapshot age,
+// queue occupancy) rather than maintained by explicit Set calls.
+type FuncGauge struct{ fn func() float64 }
+
+// Value evaluates the callback (0 on a nil gauge or nil callback).
+func (g *FuncGauge) Value() float64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// GaugeFunc registers a gauge whose value is fn(), evaluated at every
+// scrape. It shares the gauge kind, so a name may mix Set-style and
+// func-style children across label sets. The first registration of a given
+// name+label set wins; later calls are no-ops (in particular they never
+// replace an existing callback or Set-style gauge). fn is called with the
+// family lock held, so it must be fast and must not register instruments
+// on the same registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, gaugeKind, nil)
+	f.child(labels, func() any { return &FuncGauge{fn: fn} })
 }
 
 // Histogram registers (or returns the existing) histogram with the given

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"fmt"
+	"math"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -12,7 +15,9 @@ import (
 // and histogram families, label rendering and sorting, help and label-value
 // escaping, cumulative buckets.
 func TestExpositionGolden(t *testing.T) {
-	r := NewRegistry()
+	// Bare registry: NewRegistry would add aacc_build_info /
+	// aacc_process_start_time_seconds, whose values are host-dependent.
+	r := newBareRegistry()
 	r.Counter("test_requests_total", "Requests\nby peer \\ path", L("peer", `a"b\c`)).Add(3)
 	r.Counter("test_requests_total", "Requests\nby peer \\ path", L("peer", "plain")).Inc()
 	r.Gauge("test_depth", "Queue depth").Set(2.5)
@@ -180,5 +185,143 @@ func TestConcurrentUpdatesAndRender(t *testing.T) {
 func TestDefaultRegistry(t *testing.T) {
 	if Default() == nil || Default() != Default() {
 		t.Fatal("Default registry not a stable singleton")
+	}
+}
+
+// TestProcessMetadata: every NewRegistry carries build identity and process
+// start time so scrapes can tell processes apart.
+func TestProcessMetadata(t *testing.T) {
+	r := NewRegistry()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `aacc_build_info{gomaxprocs="`) ||
+		!strings.Contains(out, `goversion="go`) {
+		t.Fatalf("missing build info:\n%s", out)
+	}
+	if !strings.Contains(out, "aacc_process_start_time_seconds ") {
+		t.Fatalf("missing process start time:\n%s", out)
+	}
+	start := r.Gauge("aacc_process_start_time_seconds", "").Value()
+	now := float64(time.Now().UnixNano()) / 1e9
+	if start <= 0 || start > now {
+		t.Fatalf("implausible start time %v (now %v)", start, now)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("fn_depth", "computed", func() float64 { return v })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_depth 1.5") {
+		t.Fatalf("func gauge not rendered:\n%s", sb.String())
+	}
+	v = 3
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_depth 3") {
+		t.Fatalf("func gauge not re-evaluated at scrape:\n%s", sb.String())
+	}
+	// First registration wins: a second callback must not replace the first.
+	r.GaugeFunc("fn_depth", "computed", func() float64 { return -1 })
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_depth 3") {
+		t.Fatalf("second GaugeFunc replaced the first:\n%s", sb.String())
+	}
+	// A Set-style gauge under the same name is untouched by GaugeFunc.
+	r.Gauge("mixed_depth", "").Set(7)
+	r.GaugeFunc("mixed_depth", "", func() float64 { return -1 })
+	if got := r.Gauge("mixed_depth", "").Value(); got != 7 {
+		t.Fatalf("GaugeFunc clobbered a Set gauge: %v", got)
+	}
+}
+
+// TestConcurrentRegistrationAndScrape registers brand-new families and
+// label sets while scrapes run — distinct from TestConcurrentUpdatesAndRender,
+// which re-registers existing instruments. Under -race this pins that
+// registration and exposition can interleave freely.
+func TestConcurrentRegistrationAndScrape(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 3 {
+				case 0:
+					r.Counter(fmt.Sprintf("reg_c%d_total", w), "c", L("i", strconv.Itoa(i))).Inc()
+				case 1:
+					r.Gauge(fmt.Sprintf("reg_g%d", w), "g", L("i", strconv.Itoa(i))).Set(float64(i))
+				default:
+					r.Histogram(fmt.Sprintf("reg_h%d_seconds", w), "h", []float64{0.5}, L("i", strconv.Itoa(i))).Observe(0.1)
+				}
+			}
+		}(w)
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+	// Every registration must have landed exactly once.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i += 3 {
+			if got := r.Counter(fmt.Sprintf("reg_c%d_total", w), "c", L("i", strconv.Itoa(i))).Value(); got != 1 {
+				t.Fatalf("counter w=%d i=%d = %v, want 1", w, i, got)
+			}
+		}
+	}
+}
+
+// TestHistogramBucketConflict pins the documented first-registration-wins
+// bucket semantics: repeated Histogram() calls with conflicting buckets
+// reuse the family's original layout, and all observations land in one
+// shared child.
+func TestHistogramBucketConflict(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("conflict_seconds", "h", []float64{1, 10})
+	h2 := r.Histogram("conflict_seconds", "h", []float64{0.25, 0.5, 2, 4, 8}) // conflicting layout
+	if h1 != h2 {
+		t.Fatal("conflicting buckets produced a second child")
+	}
+	if len(h2.upper) != 2 || h2.upper[0] != 1 || h2.upper[1] != 10 {
+		t.Fatalf("buckets not fixed by first registration: %v", h2.upper)
+	}
+	h2.Observe(5)
+	if h1.counts[1].Load() != 1 {
+		t.Fatalf("observation via the second handle missed the shared buckets: %v", h1.counts[1].Load())
+	}
+	// A new label set under the same family also inherits the original
+	// layout, even when registered with different buckets.
+	h3 := r.Histogram("conflict_seconds", "h", []float64{100}, L("side", "b"))
+	if len(h3.upper) != 2 || h3.upper[0] != 1 {
+		t.Fatalf("new child ignored family buckets: %v", h3.upper)
+	}
+	// Unsorted and +Inf-bearing layouts are canonicalized on first
+	// registration.
+	h4 := r.Histogram("canon_seconds", "h", []float64{5, math.Inf(1), 1})
+	if len(h4.upper) != 2 || h4.upper[0] != 1 || h4.upper[1] != 5 {
+		t.Fatalf("bucket canonicalization wrong: %v", h4.upper)
 	}
 }

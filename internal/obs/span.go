@@ -1,0 +1,45 @@
+package obs
+
+import "time"
+
+// Span is one timed unit of work in a distributed trace. Spans from every
+// process in a deployment share a correlation key (Trace) so a single
+// command can be followed causally: session enqueue → coalesce → batch
+// apply → per-worker collect/exchange/install-relax → settle → epoch
+// publish.
+//
+// The Span type lives in obs (not internal/trace) because it is shared by
+// layers on both sides of the import graph: core and anytime emit spans,
+// trace sinks consume them, and dist carries them over the wire.
+type Span struct {
+	// Trace is the correlation key. In cluster mode it is the dist
+	// command/round Seq (shared coordinator↔workers); in single-process
+	// mode it is the engine step count. 0 means unkeyed.
+	Trace uint64 `json:"trace"`
+	// Component names the emitting process/layer: "engine", "session",
+	// "coordinator", "worker.3" (a worker span relayed by the
+	// coordinator carries the worker's index).
+	Component string `json:"component"`
+	// Name is the operation: "engine.collect", "worker.step",
+	// "coord.settle", "session.publish", ...
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+	// Detail optionally elaborates ("14 ops as 3 units").
+	Detail string `json:"detail,omitempty"`
+	// Err is the failure message if the spanned operation failed.
+	Err string `json:"err,omitempty"`
+}
+
+// SpanSink consumes spans. Trace sinks (JSONL, Metrics, Multi) implement
+// it optionally — emitters discover support with SinkOf and skip all
+// span bookkeeping (including timestamps) when the sink is nil, keeping
+// the tracing-disabled path inside the obs overhead budget.
+type SpanSink interface{ Span(Span) }
+
+// SinkOf returns v's SpanSink, or nil if v is nil or does not implement
+// one. Emitters call this once at setup and cache the result.
+func SinkOf(v any) SpanSink {
+	s, _ := v.(SpanSink)
+	return s
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sync"
 	"time"
 
 	"aacc/internal/cluster"
@@ -21,7 +22,9 @@ type Metrics struct {
 	bytes       *obs.Gauge
 	computeMS   *obs.Gauge
 	commMS      *obs.Gauge
+	mu          sync.Mutex
 	events      map[string]*obs.Counter
+	spans       map[string]*obs.Histogram
 	reg         *obs.Registry
 }
 
@@ -36,6 +39,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		computeMS:   reg.Gauge("aacc_trace_sim_compute_ms", "Cumulative simulated compute time (ms) per the latest cluster stats."),
 		commMS:      reg.Gauge("aacc_trace_sim_comm_ms", "Cumulative simulated communication time (ms) per the latest cluster stats."),
 		events:      make(map[string]*obs.Counter),
+		spans:       make(map[string]*obs.Histogram),
 		reg:         reg,
 	}
 }
@@ -53,14 +57,30 @@ func (m *Metrics) StepDone(rep core.StepReport, st cluster.Stats) {
 }
 
 // Event implements core.Tracer. Each kind gets its own labelled counter,
-// created on first sight. The engine delivers events from one goroutine, so
-// the lazily-grown map needs no lock; concurrent use should pre-register or
-// wrap with a mutexed tracer.
+// created on first sight. The lazily-grown map is mutex-protected: the
+// engine traces from one goroutine, but span/event emitters in the session
+// and coordinator layers may share the sink.
 func (m *Metrics) Event(kind, details string) {
+	m.mu.Lock()
 	c, ok := m.events[kind]
 	if !ok {
 		c = m.reg.Counter("aacc_trace_events_total", "Dynamic events by kind.", obs.L("kind", kind))
 		m.events[kind] = c
 	}
+	m.mu.Unlock()
 	c.Inc()
+}
+
+// Span implements obs.SpanSink: per-phase latency histograms, so the
+// distributed trace is summarized scrapeably as
+// aacc_trace_span_seconds{name="..."}.
+func (m *Metrics) Span(sp obs.Span) {
+	m.mu.Lock()
+	h, ok := m.spans[sp.Name]
+	if !ok {
+		h = m.reg.Histogram("aacc_trace_span_seconds", "Span durations by phase/operation name.", nil, obs.L("name", sp.Name))
+		m.spans[sp.Name] = h
+	}
+	m.mu.Unlock()
+	h.ObserveDuration(sp.Dur)
 }

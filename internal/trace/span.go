@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"aacc/internal/obs"
+)
+
+// Span sink support. Every layer that owns a tracer emits obs.Span values
+// when the tracer implements obs.SpanSink; the sinks here make those spans
+// durable (JSONL), scrapeable (Metrics) and testable (Collector). A span's
+// Trace field carries the correlation key — the dist command/round Seq in
+// cluster mode — so spans from the coordinator and every worker line up
+// into one causal timeline.
+
+type jsonSpan struct {
+	Type      string  `json:"type"`
+	Trace     uint64  `json:"trace"`
+	Component string  `json:"component"`
+	Name      string  `json:"name"`
+	Start     string  `json:"start"`
+	DurMS     float64 `json:"dur_ms"`
+	Detail    string  `json:"detail,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// Span implements obs.SpanSink: one {"type":"span",...} line per span.
+func (j *JSONL) Span(sp obs.Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonSpan{
+		Type:      "span",
+		Trace:     sp.Trace,
+		Component: sp.Component,
+		Name:      sp.Name,
+		Start:     sp.Start.UTC().Format(time.RFC3339Nano),
+		DurMS:     float64(sp.Dur) / float64(time.Millisecond),
+		Detail:    sp.Detail,
+		Err:       sp.Err,
+	})
+}
+
+// Span implements obs.SpanSink by fanning out to every child that
+// implements it. Note Multi therefore always advertises span support;
+// children without it are skipped.
+func (m Multi) Span(sp obs.Span) {
+	for _, t := range m {
+		if ss, ok := t.(obs.SpanSink); ok {
+			ss.Span(sp)
+		}
+	}
+}
+
+// Span implements obs.SpanSink for the Collector.
+func (c *Collector) Span(sp obs.Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Spans = append(c.Spans, sp)
+}
+
+// SpanSummary aggregates all spans sharing one Name — the per-phase
+// rollup of a trace.
+type SpanSummary struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+	Errs  int
+}
+
+// Summarize rolls spans up per phase (span name), sorted by descending
+// total time — the "where did the time go" view of a trace.
+func Summarize(spans []obs.Span) []SpanSummary {
+	byName := make(map[string]*SpanSummary)
+	order := make([]string, 0, 8)
+	for _, sp := range spans {
+		s := byName[sp.Name]
+		if s == nil {
+			s = &SpanSummary{Name: sp.Name}
+			byName[sp.Name] = s
+			order = append(order, sp.Name)
+		}
+		s.Count++
+		s.Total += sp.Dur
+		if sp.Dur > s.Max {
+			s.Max = sp.Dur
+		}
+		if sp.Err != "" {
+			s.Errs++
+		}
+	}
+	out := make([]SpanSummary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Summarize returns the per-phase rollup of every span the collector has
+// retained.
+func (c *Collector) Summarize() []SpanSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Summarize(c.Spans)
+}

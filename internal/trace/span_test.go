@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"aacc/internal/obs"
+)
+
+func mkSpan(trace uint64, name string, dur time.Duration, errMsg string) obs.Span {
+	return obs.Span{
+		Trace:     trace,
+		Component: "engine",
+		Name:      name,
+		Start:     time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Dur:       dur,
+		Err:       errMsg,
+	}
+}
+
+func TestJSONLSpanRender(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Span(mkSpan(42, "engine.collect", 1500*time.Microsecond, ""))
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSONL span line %q: %v", buf.String(), err)
+	}
+	if got["type"] != "span" || got["name"] != "engine.collect" ||
+		got["component"] != "engine" || got["trace"] != float64(42) ||
+		got["dur_ms"] != 1.5 {
+		t.Fatalf("span fields wrong: %v", got)
+	}
+	if _, hasErr := got["err"]; hasErr {
+		t.Fatalf("empty err not omitted: %v", got)
+	}
+	if !strings.HasPrefix(got["start"].(string), "2026-01-02T03:04:05") {
+		t.Fatalf("start not RFC3339: %v", got["start"])
+	}
+}
+
+func TestMultiFansOutSpans(t *testing.T) {
+	var buf bytes.Buffer
+	col := &Collector{}
+	// CSV does not implement obs.SpanSink; Multi must skip it.
+	m := Multi{NewCSV(&buf), col, NewJSONL(&buf)}
+	var sink obs.SpanSink = m // Multi itself must implement the interface
+	sink.Span(mkSpan(7, "coord.settle", time.Millisecond, ""))
+	if len(col.Spans) != 1 || col.Spans[0].Trace != 7 {
+		t.Fatalf("collector missed the span: %+v", col.Spans)
+	}
+	if !strings.Contains(buf.String(), `"type":"span"`) {
+		t.Fatalf("JSONL child missed the span: %s", buf.String())
+	}
+	if obs.SinkOf(NewCSV(&buf)) != nil {
+		t.Fatal("CSV unexpectedly advertises span support")
+	}
+	if obs.SinkOf(m) == nil {
+		t.Fatal("SinkOf(Multi) = nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	col := &Collector{}
+	col.Span(mkSpan(1, "engine.collect", 2*time.Millisecond, ""))
+	col.Span(mkSpan(2, "engine.collect", 4*time.Millisecond, ""))
+	col.Span(mkSpan(1, "engine.exchange", 10*time.Millisecond, "boom"))
+	sum := col.Summarize()
+	if len(sum) != 2 {
+		t.Fatalf("want 2 phases, got %+v", sum)
+	}
+	// Sorted by descending total: exchange (10ms) first.
+	if sum[0].Name != "engine.exchange" || sum[0].Errs != 1 || sum[0].Count != 1 {
+		t.Fatalf("first summary wrong: %+v", sum[0])
+	}
+	if sum[1].Name != "engine.collect" || sum[1].Count != 2 ||
+		sum[1].Total != 6*time.Millisecond || sum[1].Max != 4*time.Millisecond {
+		t.Fatalf("second summary wrong: %+v", sum[1])
+	}
+}
+
+func TestMetricsSpanHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	m.Span(mkSpan(3, "worker.step", 2*time.Millisecond, ""))
+	m.Span(mkSpan(4, "worker.step", 3*time.Millisecond, ""))
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `aacc_trace_span_seconds_count{name="worker.step"} 2`) {
+		t.Fatalf("span histogram missing:\n%s", sb.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"aacc/internal/cluster"
 	"aacc/internal/core"
+	"aacc/internal/obs"
 )
 
 // Event kinds emitted by the anytime session layer, alongside the engine's
@@ -192,6 +193,7 @@ type Collector struct {
 	Steps  []core.StepReport
 	Stats  []cluster.Stats
 	Events []string
+	Spans  []obs.Span
 }
 
 // StepDone implements core.Tracer.

@@ -60,7 +60,7 @@ func TestJSONLTrace(t *testing.T) {
 	if j.Err() != nil {
 		t.Fatal(j.Err())
 	}
-	var steps, events int
+	var steps, events, spans int
 	dec := json.NewDecoder(&buf)
 	for dec.More() {
 		var m map[string]any
@@ -75,12 +75,20 @@ func TestJSONLTrace(t *testing.T) {
 			}
 		case "event":
 			events++
+		case "span":
+			spans++
+			if _, ok := m["dur_ms"].(float64); !ok {
+				t.Fatalf("span without duration: %v", m)
+			}
+			if _, ok := m["trace"].(float64); !ok {
+				t.Fatalf("span without trace key: %v", m)
+			}
 		default:
 			t.Fatalf("unknown record %v", m)
 		}
 	}
-	if steps < 2 || events < 1 {
-		t.Fatalf("steps=%d events=%d", steps, events)
+	if steps < 2 || events < 1 || spans < 1 {
+		t.Fatalf("steps=%d events=%d spans=%d", steps, events, spans)
 	}
 }
 

@@ -76,6 +76,7 @@ type Faulty struct {
 
 	counts   [numFaultKinds]atomic.Int64
 	injected []*obs.Counter // per kind, nil unless SetObs was called
+	rec      *obs.Recorder  // flight recorder, nil-safe
 }
 
 // NewFaulty wraps inner with a deterministic fault injector.
@@ -92,6 +93,7 @@ func NewFaulty(inner Transport, opts FaultOptions) *Faulty {
 // SetObs registers the injection counters and forwards the registry to the
 // inner transport when it is observable too.
 func (f *Faulty) SetObs(reg *obs.Registry) {
+	f.rec = reg.Events()
 	f.injected = make([]*obs.Counter, numFaultKinds)
 	for k := FaultKind(0); k < numFaultKinds; k++ {
 		f.injected[k] = reg.Counter("aacc_transport_injected_faults_total",
@@ -116,6 +118,7 @@ func (f *Faulty) note(k FaultKind) {
 	if f.injected != nil {
 		f.injected[k].Inc()
 	}
+	f.rec.Record("transport", "injected-fault", 0, k.String())
 }
 
 // RoundTrip implements Transport, injecting at most one fault per round.

@@ -26,7 +26,9 @@ const (
 	// codec and the coordinator control messages; bump it whenever any of
 	// those change incompatibly. v2: mMutate carries a batch of ops
 	// (mutateBody.Ops) instead of a single op, and mResult gained FailedOp.
-	ProtocolVersion = 2
+	// v3: ready/result replies piggyback federated worker metric snapshots
+	// and per-command spans (resultBody.Metrics/Spans).
+	ProtocolVersion = 3
 )
 
 // Hello ack statuses.

@@ -48,6 +48,7 @@ type PeerMesh struct {
 	roundFails *obs.Counter
 	reconnects []*obs.Counter
 	peerFail   []*obs.Counter
+	rec        *obs.Recorder // flight recorder, nil-safe
 }
 
 // PeerConfig describes one worker's place in a mesh.
@@ -100,6 +101,7 @@ func NewPeerMesh(ln net.Listener, cfg PeerConfig) (*PeerMesh, error) {
 // carry both the worker index and its configured address, so a flaky or dead
 // peer is identifiable from /metrics without cross-referencing logs.
 func (m *PeerMesh) SetObs(reg *obs.Registry) {
+	m.rec = reg.Events()
 	m.rounds = reg.Counter("aacc_transport_wire_rounds_total", "All-to-all rounds carried over the worker peer mesh.")
 	m.roundFails = reg.Counter("aacc_transport_wire_round_failures_total", "Rounds that failed with a transport error.")
 	m.peerFail = make([]*obs.Counter, len(m.addrs))
@@ -121,6 +123,7 @@ func (m *PeerMesh) notePeerFailure(w int) {
 	if m.peerFail != nil && w >= 0 && w < len(m.peerFail) && m.peerFail[w] != nil {
 		m.peerFail[w].Inc()
 	}
+	m.rec.Record("transport", "peer-failure", 0, fmt.Sprintf("remote worker %d", w))
 }
 
 // acceptLoop admits inbound peer connections for the mesh's lifetime. A
@@ -342,6 +345,7 @@ func (m *PeerMesh) sendTo(w int, seq uint32, frames [][][]byte, deadline time.Ti
 	if m.reconnects != nil && m.reconnects[w] != nil {
 		m.reconnects[w].Inc()
 	}
+	m.rec.Record("transport", "peer-reconnect", uint64(seq), fmt.Sprintf("re-dialing worker %d", w))
 	conn, err = m.getOut(w, deadline)
 	if err != nil {
 		return err

@@ -103,12 +103,14 @@ type TCPLoopback struct {
 	roundFails *obs.Counter
 	retries    *obs.Counter
 	peerFail   []*obs.Counter
+	rec        *obs.Recorder // flight recorder, nil-safe
 }
 
 // SetObs registers the mesh's wire metrics against reg: round counts, round
 // failures, retries, and per-peer send/receive failure counters. Call once
 // at setup; the wire runtime propagates the engine's registry here.
 func (t *TCPLoopback) SetObs(reg *obs.Registry) {
+	t.rec = reg.Events()
 	t.rounds = reg.Counter("aacc_transport_wire_rounds_total", "All-to-all rounds carried over the TCP loopback mesh.")
 	t.roundFails = reg.Counter("aacc_transport_wire_round_failures_total", "Rounds that failed with a transport error after exhausting their retry budget.")
 	t.retries = reg.Counter("aacc_transport_retries_total", "Round attempts retried after a transient transport error.")
@@ -436,6 +438,8 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			t.retries.Inc()
+			t.rec.Record("transport", "wire-retry", uint64(t.seq),
+				fmt.Sprintf("attempt %d/%d after: %v", attempt+1, t.cfg.MaxAttempts, lastErr))
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -450,6 +454,7 @@ func (t *TCPLoopback) RoundTrip(frames [][][]byte) ([][][]byte, error) {
 		}
 	}
 	t.roundFails.Inc()
+	t.rec.Record("transport", "wire-round-failure", uint64(t.seq), lastErr.Error())
 	return nil, lastErr
 }
 

@@ -117,6 +117,36 @@ curl -fsS "http://$OBS/statusz" | grep -q "dead:" && {
 }
 echo "cluster_smoke: session recovered after worker rejoin"
 
+# The flight recorder must have captured the whole incident — kill-9 →
+# degraded → rejoin → resync — and each lifecycle event must carry a nonzero
+# trace (the collective command seq) so it can be correlated with spans.
+EVENTS="$(curl -fsS "http://$OBS/debug/events")"
+for kind in worker-lost degraded worker-rejoin resync recovered; do
+    printf '%s\n' "$EVENTS" | grep -q "\"kind\": \"$kind\"" || {
+        echo "cluster_smoke: /debug/events missing a \"$kind\" event" >&2
+        printf '%s\n' "$EVENTS" | grep '"kind"' >&2 || true
+        exit 1
+    }
+done
+for kind in worker-lost worker-rejoin resync; do
+    printf '%s\n' "$EVENTS" | grep -A1 "\"kind\": \"$kind\"" | grep -q '"trace": [1-9]' || {
+        echo "cluster_smoke: \"$kind\" event has no correlating trace id" >&2
+        printf '%s\n' "$EVENTS" | grep -A1 '"kind"' >&2 || true
+        exit 1
+    }
+done
+# Federated worker gauges: both workers re-exported and alive again.
+CMETRICS="$(curl -fsS "http://$OBS/metrics")"
+for want in 'aacc_cluster_worker_up{worker="0"} 1' 'aacc_cluster_worker_up{worker="1"} 1' \
+    aacc_cluster_worker_wire_rounds aacc_cluster_worker_metrics_age_seconds; do
+    printf '%s\n' "$CMETRICS" | grep -qF "$want" || {
+        echo "cluster_smoke: coordinator /metrics missing $want" >&2
+        printf '%s\n' "$CMETRICS" | grep '^aacc_cluster' >&2 || true
+        exit 1
+    }
+done
+echo "cluster_smoke: flight recorder captured the incident with correlated traces"
+
 kill -TERM "$CO"
 n=0
 while kill -0 "$CO" 2>/dev/null; do

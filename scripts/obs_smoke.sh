@@ -2,23 +2,37 @@
 # Boots a short -serve analysis with the observability endpoint enabled and
 # verifies the live scrape surface: /metrics must expose the engine-phase,
 # transport and session families, /healthz must report ok, /statusz must
-# render the status page. Any non-200 response or missing family fails the
-# script. Usage:
+# render the status page. A second phase forms a 2-worker cluster and
+# verifies the federated surface: a worker's own endpoint serves its
+# process-local families and the coordinator re-exports per-worker-labeled
+# aacc_cluster_worker_* gauges. Any non-200 response or missing family fails
+# the script. Usage:
 #
-#   scripts/obs_smoke.sh [addr]
+#   scripts/obs_smoke.sh [addr [ctrl [coord-obs [worker-obs]]]]
 #
-# addr defaults to 127.0.0.1:9321. Only standard tools (go, curl) are used.
+# Addresses default to 127.0.0.1:9321/9325/9326/9327. Only standard tools
+# (go, curl) are used.
 set -eu
 
 cd "$(dirname "$0")/.."
 ADDR="${1:-127.0.0.1:9321}"
+CTRL="${2:-127.0.0.1:9325}"
+COBS="${3:-127.0.0.1:9326}"
+WOBS="${4:-127.0.0.1:9327}"
 
 LOG="$(mktemp)"
+LOGDIR="$(mktemp -d)"
+W0= W1= CO= BIN=
 go run ./cmd/aacc -n 400 -p 4 -serve -obs-addr "$ADDR" -linger 60s -top 3 >"$LOG" 2>&1 &
 PID=$!
 cleanup() {
     kill "$PID" 2>/dev/null || true
+    for pid in "$W0" "$W1" "$CO"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
     rm -f "$LOG"
+    rm -rf "$LOGDIR"
+    [ -n "$BIN" ] && rm -rf "$(dirname "$BIN")" || true
 }
 trap cleanup EXIT
 
@@ -62,4 +76,72 @@ curl -fsS "http://$ADDR/statusz" | grep -q 'rc steps' || {
     exit 1
 }
 
-echo "obs_smoke: OK ($(printf '%s\n' "$METRICS" | grep -c '^aacc_') aacc_* sample lines)"
+echo "obs_smoke: session surface OK ($(printf '%s\n' "$METRICS" | grep -c '^aacc_') aacc_* sample lines)"
+
+# Phase 2: federated cluster surface. One worker exposes its own endpoint
+# (the -serve restriction on -obs-addr is gone); the coordinator re-exports
+# per-worker-labeled gauges fed by the piggybacked report snapshots.
+BIN="$(mktemp -d)/aacc"
+go build -o "$BIN" ./cmd/aacc
+GRAPH="-n 400 -p 4 -seed 3"
+"$BIN" -role worker -coordinator "$CTRL" $GRAPH -obs-addr "$WOBS" -linger 60s \
+    >"$LOGDIR/w0.log" 2>&1 &
+W0=$!
+"$BIN" -role worker -coordinator "$CTRL" $GRAPH >"$LOGDIR/w1.log" 2>&1 &
+W1=$!
+"$BIN" -role coordinator -listen "$CTRL" -cluster-workers 2 $GRAPH \
+    -serve -step-interval 100ms -obs-addr "$COBS" -linger 60s -top 3 \
+    >"$LOGDIR/co.log" 2>&1 &
+CO=$!
+
+# Per-worker families appear once the first piggybacked snapshot lands.
+i=0
+until curl -fsS "http://$COBS/metrics" 2>/dev/null |
+    grep -q 'aacc_cluster_worker_up{worker="1"} 1'; do
+    if ! kill -0 "$CO" 2>/dev/null; then
+        echo "obs_smoke: coordinator exited before exporting worker gauges" >&2
+        tail -20 "$LOGDIR/co.log" "$LOGDIR/w0.log" "$LOGDIR/w1.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "obs_smoke: coordinator never exported aacc_cluster_worker_up" >&2
+        curl -fsS "http://$COBS/metrics" 2>/dev/null | grep '^aacc_cluster' >&2 || true
+        exit 1
+    fi
+    sleep 0.5
+done
+
+CMETRICS="$(curl -fsS "http://$COBS/metrics")"
+for fam in aacc_cluster_worker_up aacc_cluster_worker_resident_procs \
+    aacc_cluster_worker_heap_bytes aacc_cluster_worker_wire_rounds \
+    aacc_cluster_worker_metrics_age_seconds aacc_cluster_convergence_progress; do
+    if ! printf '%s\n' "$CMETRICS" | grep -q "$fam"; then
+        echo "obs_smoke: coordinator /metrics missing family $fam" >&2
+        printf '%s\n' "$CMETRICS" | grep '^aacc_cluster' >&2 || true
+        exit 1
+    fi
+done
+
+WMETRICS="$(curl -fsS "http://$WOBS/metrics")"
+for fam in aacc_build_info aacc_process_start_time_seconds \
+    aacc_engine_phase_seconds aacc_transport_wire_rounds_total; do
+    if ! printf '%s\n' "$WMETRICS" | grep -q "$fam"; then
+        echo "obs_smoke: worker /metrics missing family $fam" >&2
+        printf '%s\n' "$WMETRICS" | head -40 >&2
+        exit 1
+    fi
+done
+curl -fsS "http://$WOBS/healthz" | grep -q '^ok' || {
+    echo "obs_smoke: worker /healthz did not report ok" >&2
+    exit 1
+}
+case "$(curl -fsS "http://$COBS/debug/events")" in
+"["*) ;;
+*)
+    echo "obs_smoke: coordinator /debug/events is not a JSON array" >&2
+    exit 1
+    ;;
+esac
+
+echo "obs_smoke: OK (session + cluster scrape surfaces, worker $(printf '%s\n' "$WMETRICS" | grep -c '^aacc_') and coordinator $(printf '%s\n' "$CMETRICS" | grep -c '^aacc_') sample lines)"
