@@ -762,3 +762,43 @@ func BenchmarkSnapshotQuery(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTopKQuery compares bound-based top-k serving against the full
+// Scores()-scan path it replaces, on the converged Fig4 workload. The bound
+// index aggregates rows incrementally at publish time, so answering a query
+// is O(n log k) ranking work; the full scan re-aggregates every O(n²)
+// distance entry per query. Build measures the one-off full-pass cost of
+// the index itself.
+func BenchmarkTopKQuery(b *testing.B) {
+	add := benchAddition(b, 16)
+	e := benchEngine(b, add.Base.Clone())
+	defer e.Close()
+	mustRun(b, e)
+	dist := e.Distances()
+	g := e.Graph()
+	live, width := g.Vertices(), g.NumIDs()
+	bs := centrality.NewBoundState(dist, live, width, centrality.MinEdgeWeight(g))
+	for _, k := range []int{8, 32} {
+		b.Run(fmt.Sprintf("Bound/K%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := bs.TopK(k, true)
+				if len(res.Entries) != k {
+					b.Fatalf("%d entries, want %d", len(res.Entries), k)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("FullScan/K%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := centrality.FromDistances(dist, live, width)
+				if ids := centrality.TopK(s, s.Harmonic, k); len(ids) != k {
+					b.Fatalf("%d ids, want %d", len(ids), k)
+				}
+			}
+		})
+	}
+	b.Run("Build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bs = centrality.NewBoundState(dist, live, width, centrality.MinEdgeWeight(g))
+		}
+	})
+}

@@ -163,10 +163,18 @@ type Snapshot struct {
 	dist  map[graph.ID][]int32
 	live  []graph.ID
 	width int
+	minW  int32
 	taken time.Time
 
 	scoresOnce sync.Once
 	scores     centrality.Scores
+
+	// topk is the frozen closeness bound index for this epoch, non-nil on
+	// snapshots published while the session's index was active; topkLazy is
+	// the once-built fallback for older snapshots (see topk.go).
+	topk     *centrality.BoundState
+	topkOnce sync.Once
+	topkLazy *centrality.BoundState
 
 	// next is closed when the succeeding snapshot is published — the
 	// lock-free broadcast WaitFor blocks on.
@@ -183,8 +191,10 @@ func (sn *Snapshot) Vertices() []graph.ID { return sn.live }
 func (sn *Snapshot) Age() time.Duration { return time.Since(sn.taken) }
 
 // Row returns v's distance row (indexed by target ID, dv.Inf = unknown), or
-// nil if v was dead. The slice is shared between all readers of this
-// snapshot: callers must not modify it.
+// nil if v was dead, negative, or out of range — IDs arrive here straight
+// from untrusted query input, so any v is safe (dist is a map keyed by live
+// IDs; absent keys, including negative ones, yield nil). The slice is shared
+// between all readers of this snapshot: callers must not modify it.
 func (sn *Snapshot) Row(v graph.ID) []int32 { return sn.dist[v] }
 
 // Distance returns the snapshot's estimate of d(u,v), dv.Inf if unknown.
@@ -246,6 +256,17 @@ type Session struct {
 	epoch        int
 	baseStep     int
 	appliedOps   int
+
+	// Top-k bound index (topk.go). topkOn flips true on the first TopK
+	// query (from any goroutine); the rest is loop-goroutine state: the
+	// live index synced at each publish, the appliedOps count it was built
+	// against, and the graph's minimum edge weight (recomputed only when
+	// mutations may have changed it).
+	topkOn    atomic.Bool
+	topkState *centrality.BoundState
+	topkBase  int
+	minW      int32
+	minWOps   int
 }
 
 // Failure backoff bounds: after a failed RC step the loop waits before
@@ -669,6 +690,15 @@ func (s *Session) publish() {
 	start := time.Now()
 	s.epoch++
 	g := s.eng.Graph()
+	dist := s.eng.Distances()
+	live := append([]graph.ID(nil), g.Vertices()...)
+	width := g.NumIDs()
+	if s.minW == 0 || s.minWOps != s.appliedOps {
+		// Edge weights only change through mutations; between batches the
+		// cached minimum (the bound index's distance floor) stays valid.
+		s.minW = centrality.MinEdgeWeight(g)
+		s.minWOps = s.appliedOps
+	}
 	snap := &Snapshot{
 		Epoch:       s.epoch,
 		Step:        s.eng.StepCount(),
@@ -680,9 +710,11 @@ func (s *Session) publish() {
 		NumEdges:    g.NumEdges(),
 		AppliedOps:  s.appliedOps,
 		Stats:       s.eng.Stats(),
-		dist:        s.eng.Distances(),
-		live:        append([]graph.ID(nil), g.Vertices()...),
-		width:       g.NumIDs(),
+		dist:        dist,
+		live:        live,
+		width:       width,
+		minW:        s.minW,
+		topk:        s.syncTopK(dist, live, width),
 		taken:       start,
 		next:        make(chan struct{}),
 	}

@@ -21,6 +21,14 @@ type sessionObs struct {
 	queries     *obs.Counter
 	snapshotAge *obs.Histogram
 
+	// Top-k serving instruments — written from query goroutines (the
+	// registry's instruments are atomics, like the snapshot-query pair
+	// above).
+	topkQueries  *obs.Counter
+	topkLatency  *obs.Histogram
+	topkPruned   *obs.Histogram
+	topkResolved *obs.Gauge
+
 	mutations  *obs.Counter
 	applyLat   *obs.Histogram
 	queueDepth *obs.Gauge
@@ -51,6 +59,9 @@ var snapshotAgeBuckets = []float64{
 // DefaultIngestQueue drain.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// fractionBuckets cover ratio-valued observations (pruned fraction).
+var fractionBuckets = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+
 func newSessionObs(reg *obs.Registry, opts Options) *sessionObs {
 	m := &sessionObs{
 		epoch:     reg.Gauge("aacc_session_epoch", "Current snapshot epoch."),
@@ -62,6 +73,11 @@ func newSessionObs(reg *obs.Registry, opts Options) *sessionObs {
 
 		queries:     reg.Counter("aacc_session_queries_total", "Snapshot queries served."),
 		snapshotAge: reg.Histogram("aacc_session_snapshot_age_seconds", "Age of the snapshot at each query (time since its publication).", snapshotAgeBuckets),
+
+		topkQueries:  reg.Counter("aacc_session_topk_queries_total", "Bound-based top-k queries served."),
+		topkLatency:  reg.Histogram("aacc_session_topk_query_seconds", "Top-k query latency (snapshot load plus bound-based ranking).", nil),
+		topkPruned:   reg.Histogram("aacc_session_topk_pruned_fraction", "Fraction of candidate vertices pruned per top-k query (upper bound below the k-th lower bound).", fractionBuckets),
+		topkResolved: reg.Gauge("aacc_session_topk_resolved_k", "Length of the confirmed prefix in the most recent top-k answer."),
 
 		mutations:  reg.Counter("aacc_session_mutations_total", "Mutations applied through the serialized queue."),
 		applyLat:   reg.Histogram("aacc_session_mutation_apply_seconds", "Mutation apply latency on the orchestration goroutine (barrier deletions include their internal RC steps).", nil),

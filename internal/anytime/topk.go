@@ -1,0 +1,89 @@
+package anytime
+
+// Bound-based top-k serving. The session maintains a centrality.BoundState
+// over the engine's partial distance rows: built in one full pass the first
+// time anyone asks for a top-k, then kept current at each publish by
+// re-aggregating only the rows that changed since the previous epoch —
+// monotone row tightening is free to track, while any applied mutation
+// invalidates the index (recorded in the flight recorder) and forces a
+// rebuild at the next publish. Each snapshot freezes an immutable clone, so
+// queries rank lock-free against a consistent epoch while the orchestration
+// goroutine keeps syncing.
+
+import (
+	"fmt"
+	"time"
+
+	"aacc/internal/centrality"
+	"aacc/internal/graph"
+)
+
+// TopK answers a bound-based top-k closeness query from the current
+// snapshot: the k highest-scoring vertices ranked with per-vertex
+// lower/upper bounds and a confirmed-prefix marker (see
+// centrality.BoundState.TopK). Safe for any number of goroutines; the first
+// call activates incremental index maintenance on future publishes.
+func (s *Session) TopK(k int, harmonic bool) centrality.TopKResult {
+	_, res := s.TopKAt(k, harmonic)
+	return res
+}
+
+// TopKAt is TopK returning the snapshot the answer was computed from, so
+// callers (the /topk endpoint) can report epoch/step/convergence
+// consistently with the ranking.
+func (s *Session) TopKAt(k int, harmonic bool) (*Snapshot, centrality.TopKResult) {
+	s.topkOn.Store(true)
+	start := time.Now()
+	sn := s.Snapshot()
+	res := sn.TopK(k, harmonic)
+	if s.om != nil {
+		s.om.topkQueries.Inc()
+		s.om.topkLatency.ObserveDuration(time.Since(start))
+		if res.Candidates > 0 {
+			s.om.topkPruned.Observe(float64(res.Pruned) / float64(res.Candidates))
+		}
+		s.om.topkResolved.Set(float64(res.Resolved))
+	}
+	return sn, res
+}
+
+// TopK ranks the snapshot's k most central vertices from its closeness
+// bounds. Snapshots published while the session's index was active carry a
+// frozen index (O(n log k) per query); otherwise the bounds are derived
+// from the snapshot's rows once, memoised, and shared by every caller.
+func (sn *Snapshot) TopK(k int, harmonic bool) centrality.TopKResult {
+	idx := sn.topk
+	if idx == nil {
+		sn.topkOnce.Do(func() {
+			sn.topkLazy = centrality.NewBoundState(sn.dist, sn.live, sn.width, sn.minW)
+		})
+		idx = sn.topkLazy
+	}
+	return idx.TopK(k, harmonic)
+}
+
+// syncTopK runs on the orchestration goroutine at publish time: it brings
+// the session's bound index up to the rows being published and returns an
+// immutable clone for the new snapshot (nil while no TopK query has ever
+// activated maintenance). Absent mutations the index is synced row-by-row
+// against the previous epoch's rows; applied mutations invalidate it —
+// deletions break row monotonicity and vertex ops change the target set —
+// so the index is rebuilt from scratch and the invalidation is recorded.
+func (s *Session) syncTopK(dist map[graph.ID][]int32, live []graph.ID, width int) *centrality.BoundState {
+	if !s.topkOn.Load() {
+		return nil
+	}
+	prev := s.cur.Load()
+	if s.topkState == nil || prev == nil || s.topkBase != s.appliedOps {
+		if s.topkState != nil && s.topkBase != s.appliedOps {
+			s.rec.Record("session", "topk-invalidate", s.traceKey(),
+				fmt.Sprintf("%d mutations applied since epoch %d; rebuilding closeness bound index",
+					s.appliedOps-s.topkBase, prev.Epoch))
+		}
+		s.topkState = centrality.NewBoundState(dist, live, width, s.minW)
+	} else {
+		s.topkState.Sync(dist, prev.dist)
+	}
+	s.topkBase = s.appliedOps
+	return s.topkState.Clone()
+}

@@ -157,7 +157,13 @@ func Degree(g graph.View) []float64 {
 }
 
 // TopK returns the k highest-scoring valid vertices, ties broken by ID.
+// k is clamped to [0, number of valid vertices]: query layers feed k
+// straight from untrusted input, so a negative k returns an empty ranking
+// instead of panicking.
 func TopK(s Scores, values []float64, k int) []graph.ID {
+	if k < 0 {
+		k = 0
+	}
 	type pair struct {
 		v graph.ID
 		x float64

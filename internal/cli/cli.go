@@ -454,7 +454,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		logger.Info("observability endpoint up", "addr", addr)
 	}
 	wall := time.Now()
-	var scores centrality.Scores
+	var report centrality.TopKResult
 	var sessionStats sessionSummary
 	// Batch-mode retry bounds for undeliverable exchange rounds: a failed
 	// Step leaves the engine state unchanged, so the one-shot CLI retries it
@@ -508,10 +508,14 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			}
 			return anytime.New(ctx, g, sopts)
 		}
-		scores, sessionStats, err = serveAnalysis(logger, build, replayer, ingest, reg, *obsAddr, *linger, dep)
+		var final *anytime.Snapshot
+		final, sessionStats, err = serveAnalysis(logger, build, replayer, ingest, reg, *obsAddr, *linger, dep)
 		if err != nil {
 			return err
 		}
+		// The same bound-based path /topk serves; on the final (usually
+		// converged) snapshot it bit-matches the full-scan ranking.
+		report = final.TopK(*top, *harmonic)
 	} else if coord != nil {
 		// Batch mode against the cluster: drive steps (with the same
 		// degraded-round retry policy as single-process wire runs) until
@@ -534,7 +538,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 					"rows_sent", rep.RowsSent, "rows_changed", rep.RowsChanged)
 			}
 		}
-		scores = centrality.FromDistances(coord.Distances(), g.Vertices(), g.NumIDs())
+		report = batchTopK(coord.Distances(), g, *top, *harmonic)
 		sessionStats = sessionSummary{steps: coord.StepCount(), stats: coord.Stats()}
 	} else {
 		e, err := core.New(g, eopts)
@@ -573,7 +577,7 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 				return err
 			}
 		}
-		scores = e.Scores()
+		report = batchTopK(e.Distances(), e.Graph(), *top, *harmonic)
 		load := metrics.Measure(e.Graph(), *p, func(v graph.ID) int { return e.Owner(v) })
 		sessionStats = sessionSummary{
 			steps:    e.StepCount(),
@@ -584,15 +588,21 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
-	values := scores.Classic
 	kind := "closeness"
 	if *harmonic {
-		values = scores.Harmonic
 		kind = "harmonic closeness"
 	}
-	fmt.Fprintf(stdout, "\ntop %d by %s:\n", *top, kind)
-	for i, v := range centrality.TopK(scores, values, *top) {
-		fmt.Fprintf(stdout, "%3d. vertex %-8d %.6g\n", i+1, v, values[v])
+	// The header counts the entries actually returned (a small or sparse
+	// graph can have fewer valid vertices than the requested -top).
+	fmt.Fprintf(stdout, "\ntop %d by %s:\n", len(report.Entries), kind)
+	for i, en := range report.Entries {
+		mark := ""
+		if !en.Resolved {
+			// Only possible on a non-converged (interrupted/exhausted)
+			// snapshot; converged output is identical to the full scan's.
+			mark = fmt.Sprintf("  (contended: [%.6g, %.6g])", en.Lower, en.Upper)
+		}
+		fmt.Fprintf(stdout, "%3d. vertex %-8d %.6g%s\n", i+1, en.V, en.Score, mark)
 	}
 
 	st := sessionStats.stats
@@ -607,6 +617,14 @@ func Analysis(args []string, stdout io.Writer) (err error) {
 			st.MessagesSent, float64(st.BytesSent)/(1<<20))
 	}
 	return nil
+}
+
+// batchTopK ranks a finished batch analysis through the same bound-based
+// path the serving modes use: on complete rows every interval collapses, so
+// the result bit-matches the full-scan centrality.TopK ranking.
+func batchTopK(dist map[graph.ID][]int32, g graph.View, k int, harmonic bool) centrality.TopKResult {
+	bs := centrality.NewBoundState(dist, g.Vertices(), g.NumIDs(), centrality.MinEdgeWeight(g))
+	return bs.TopK(k, harmonic)
 }
 
 // sessionSummary carries the end-of-run statistics both analysis modes
@@ -682,29 +700,29 @@ func sustainedIngest(logger *slog.Logger, stdout io.Writer, churn *workload.Chur
 	}
 }
 
-func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Session, error), replayer *changelog.Replayer, ingest ingestDriver, reg *obs.Registry, obsAddr string, linger time.Duration, dep *deployment) (centrality.Scores, sessionSummary, error) {
+func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Session, error), replayer *changelog.Replayer, ingest ingestDriver, reg *obs.Registry, obsAddr string, linger time.Duration, dep *deployment) (*anytime.Snapshot, sessionSummary, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	s, err := build(ctx)
 	if err != nil {
-		return centrality.Scores{}, sessionSummary{}, err
+		return nil, sessionSummary{}, err
 	}
 	defer s.Close()
 	// graceful turns a signal-cancelled wait into a clean exit on the last
 	// published epoch — an interrupted anytime analysis is still an answer.
-	graceful := func() (centrality.Scores, sessionSummary, error) {
+	graceful := func() (*anytime.Snapshot, sessionSummary, error) {
 		logger.Info("signal received; draining session and shutting down")
 		if cerr := s.Close(); cerr != nil {
 			logger.Warn("session close", "err", cerr)
 		}
 		final := s.Snapshot()
 		logger.Info("final epoch published", "epoch", final.Epoch, "step", final.Step)
-		return final.Scores(), sessionSummary{steps: final.Step, stats: final.Stats}, nil
+		return final, sessionSummary{steps: final.Step, stats: final.Stats}, nil
 	}
 	if obsAddr != "" {
 		addr, shutdown, err := startObsServer(obsAddr, obsMux(reg, s, dep))
 		if err != nil {
-			return centrality.Scores{}, sessionSummary{}, err
+			return nil, sessionSummary{}, err
 		}
 		defer func() {
 			if serr := shutdown(); serr != nil {
@@ -760,7 +778,7 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 			if ctx.Err() != nil {
 				return graceful()
 			}
-			return centrality.Scores{}, sessionSummary{}, err
+			return nil, sessionSummary{}, err
 		}
 		sample(sn)
 		if sn.Converged || sn.Exhausted {
@@ -773,20 +791,20 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 		if ctx.Err() != nil {
 			return graceful()
 		}
-		return centrality.Scores{}, sessionSummary{}, err
+		return nil, sessionSummary{}, err
 	}
 	if err := <-ingestErr; err != nil {
 		if ctx.Err() != nil {
 			return graceful()
 		}
-		return centrality.Scores{}, sessionSummary{}, err
+		return nil, sessionSummary{}, err
 	}
 	final, err := s.Wait(ctx)
 	if err != nil {
 		if ctx.Err() != nil {
 			return graceful()
 		}
-		return centrality.Scores{}, sessionSummary{}, err
+		return nil, sessionSummary{}, err
 	}
 	sample(final)
 	if linger > 0 {
@@ -797,7 +815,7 @@ func serveAnalysis(logger *slog.Logger, build func(context.Context) (*anytime.Se
 		case <-time.After(linger):
 		}
 	}
-	return final.Scores(), sessionSummary{steps: final.Step, stats: final.Stats}, nil
+	return final, sessionSummary{steps: final.Step, stats: final.Stats}, nil
 }
 
 // workerRole implements -role=worker: host one partition of the analysis,

@@ -394,3 +394,27 @@ func TestPickPartitionerKinds(t *testing.T) {
 		t.Fatal("unknown partitioner accepted")
 	}
 }
+
+// TestAnalysisReportHeaderCount: the report header states how many vertices
+// were actually ranked, not the requested -top, when the graph is smaller.
+func TestAnalysisReportHeaderCount(t *testing.T) {
+	var out bytes.Buffer
+	if err := Analysis([]string{"-n", "30", "-p", "2", "-top", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "top 30 by closeness") {
+		t.Fatalf("header should count the 30 ranked vertices, not the requested 50:\n%s", s)
+	}
+	if strings.Contains(s, "top 50") {
+		t.Fatalf("header still echoes the requested -top:\n%s", s)
+	}
+	// A negative -top degrades to an empty ranking instead of panicking.
+	out.Reset()
+	if err := Analysis([]string{"-n", "30", "-p", "2", "-top", "-5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top 0 by closeness") {
+		t.Fatalf("negative -top should rank nothing:\n%s", out.String())
+	}
+}

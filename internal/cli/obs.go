@@ -1,13 +1,16 @@
 package cli
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"aacc/internal/anytime"
+	"aacc/internal/centrality"
 	"aacc/internal/dist"
 	"aacc/internal/dv"
 	"aacc/internal/obs"
@@ -29,13 +32,16 @@ const statuszEventTail = 8
 //	/metrics       Prometheus text exposition of reg
 //	/healthz       200 while the orchestration goroutine runs, 503 after
 //	/statusz       human-readable one-page status with a flight-recorder tail
+//	/topk          bound-based top-k closeness ranking as JSON (?k=&harmonic=)
 //	/debug/events  the full flight-recorder ring as JSON
 //	/debug/pprof/  the usual Go profiling handlers
 //
 // s may be nil: batch runs and worker processes serve the same routes, with
-// /healthz reduced to a liveness probe and /statusz to process/cluster state.
-// With a session everything reads through its lock-free snapshot path, so a
-// scraper never blocks (or is blocked by) the analysis.
+// /healthz reduced to a liveness probe, /statusz to process/cluster state and
+// /topk to a 503 (workers hold only their partition's rows). With a session
+// everything reads through its lock-free snapshot path, so a scraper never
+// blocks (or is blocked by) the analysis — a coordinator session answers
+// /topk from its mirrored worker rows the same way.
 func obsMux(reg *obs.Registry, s *anytime.Session, dep *deployment) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
@@ -114,12 +120,73 @@ func obsMux(reg *obs.Registry, s *anytime.Session, dep *deployment) *http.ServeM
 			}
 		}
 	})
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			http.Error(w, "top-k serving requires a session (this process only holds partition-local rows)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		k := 10
+		if raw := r.URL.Query().Get("k"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				http.Error(w, "bad k: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			k = v // negative/oversized k is clamped by the ranking itself
+		}
+		harmonic := true
+		if raw := r.URL.Query().Get("harmonic"); raw != "" {
+			v, err := strconv.ParseBool(raw)
+			if err != nil {
+				http.Error(w, "bad harmonic: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			harmonic = v
+		}
+		sn, res := s.TopKAt(k, harmonic)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(topkResponse{ //nolint:errcheck // client gone
+			K:          res.K,
+			Scoring:    scoringName(harmonic),
+			Epoch:      sn.Epoch,
+			Step:       sn.Step,
+			Converged:  sn.Converged,
+			Candidates: res.Candidates,
+			Pruned:     res.Pruned,
+			Resolved:   res.Resolved,
+			Entries:    res.Entries,
+		})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// topkResponse is the /topk wire shape: the ranking plus the snapshot
+// coordinates it was answered from, so a client can tell a mid-run estimate
+// (check resolved/converged) from the final answer.
+type topkResponse struct {
+	K          int    `json:"k"`
+	Scoring    string `json:"scoring"`
+	Epoch      int    `json:"epoch"`
+	Step       int    `json:"step"`
+	Converged  bool   `json:"converged"`
+	Candidates int    `json:"candidates"`
+	Pruned     int    `json:"pruned"`
+	Resolved   int    `json:"resolved"`
+
+	Entries []centrality.TopKEntry `json:"entries"`
+}
+
+func scoringName(harmonic bool) string {
+	if harmonic {
+		return "harmonic"
+	}
+	return "closeness"
 }
 
 // sampleCoverage estimates how much of the distance matrix the snapshot has

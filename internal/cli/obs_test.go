@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"aacc/internal/anytime"
+	"aacc/internal/centrality"
 	"aacc/internal/core"
 	"aacc/internal/gen"
 	"aacc/internal/obs"
@@ -222,5 +224,90 @@ func TestAnalysisBatchObsAddr(t *testing.T) {
 
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTopKEndpoint exercises GET /topk against a live session: default and
+// explicit parameters, the bound/score agreement at convergence, clamping of
+// hostile k values, parameter validation, and the no-session 503.
+func TestTopKEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := gen.BarabasiAlbert(110, 2, 19, gen.Config{})
+	s, err := anytime.New(context.Background(), g, anytime.Options{
+		Engine: core.Options{P: 4, Seed: 19, Obs: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obsMux(reg, s, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/topk?k=5&harmonic=true")
+	if code != http.StatusOK {
+		t.Fatalf("/topk status %d: %s", code, body)
+	}
+	var resp topkResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/topk not JSON: %v\n%s", err, body)
+	}
+	if resp.K != 5 || resp.Scoring != "harmonic" || !resp.Converged || len(resp.Entries) != 5 {
+		t.Fatalf("/topk = %+v", resp)
+	}
+	if resp.Resolved != 5 || resp.Candidates != 110 {
+		t.Fatalf("converged /topk resolved=%d candidates=%d", resp.Resolved, resp.Candidates)
+	}
+	scores := s.Snapshot().Scores()
+	want := centrality.TopK(scores, scores.Harmonic, 5)
+	for i, en := range resp.Entries {
+		if en.V != want[i] || !en.Resolved || en.Lower != en.Score || en.Upper != en.Score {
+			t.Fatalf("entry %d = %+v, want vertex %d resolved with collapsed bounds", i, en, want[i])
+		}
+	}
+
+	// Defaults: k=10, harmonic scoring (harmonic degrades gracefully on
+	// partial rows, so it is the natural mid-run serving default).
+	code, body = get(t, srv.URL+"/topk")
+	if code != http.StatusOK {
+		t.Fatalf("/topk default status %d", code)
+	}
+	resp = topkResponse{}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.K != 10 || resp.Scoring != "harmonic" || len(resp.Entries) != 10 {
+		t.Fatalf("/topk default = k=%d scoring=%q entries=%d", resp.K, resp.Scoring, len(resp.Entries))
+	}
+	if code, _ = get(t, srv.URL+"/topk?harmonic=false"); code != http.StatusOK {
+		t.Fatalf("/topk?harmonic=false status %d", code)
+	}
+
+	// Hostile k values clamp instead of panicking or erroring.
+	for _, q := range []string{"k=-1", "k=-1073741824", "k=1000000"} {
+		code, body = get(t, srv.URL+"/topk?"+q)
+		if code != http.StatusOK {
+			t.Fatalf("/topk?%s status %d: %s", q, code, body)
+		}
+	}
+
+	// Malformed parameters are a 400, not a 500.
+	for _, q := range []string{"k=abc", "k=1e3", "harmonic=maybe"} {
+		if code, _ = get(t, srv.URL+"/topk?"+q); code != http.StatusBadRequest {
+			t.Fatalf("/topk?%s status %d, want 400", q, code)
+		}
+	}
+
+	// Session-less processes (workers, batch runs) refuse with a 503.
+	noSess := httptest.NewServer(obsMux(obs.NewRegistry(), nil, nil))
+	defer noSess.Close()
+	if code, _ = get(t, noSess.URL+"/topk"); code != http.StatusServiceUnavailable {
+		t.Fatalf("session-less /topk status %d, want 503", code)
+	}
+
+	if got := reg.Counter("aacc_session_topk_queries_total", "").Value(); got < 5 {
+		t.Errorf("topk_queries_total = %v after %d queries", got, 5)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aacc/internal/anytime"
+	"aacc/internal/centrality"
 	"aacc/internal/core"
 	"aacc/internal/gen"
 	"aacc/internal/graph"
@@ -675,5 +676,78 @@ func TestTransformForReplayMatchesDecomposition(t *testing.T) {
 	del := transformForReplay(Op{Kind: opEdgeDel, Pairs: [][2]graph.ID{{1, 2}}})
 	if len(del) != 1 || del[0].Kind != opEdgeDelEager {
 		t.Fatalf("barrier delete transform = %+v, want one eager delete", del)
+	}
+}
+
+// TestClusterTopKParity: a session wrapped around the coordinator serves the
+// bound-based top-k from its mirrored worker rows, and at the fixpoint the
+// answer matches the single-process oracle's full-scan ranking exactly —
+// the /topk serving path in cluster mode, minus HTTP.
+func TestClusterTopKParity(t *testing.T) {
+	base := testGraph(100)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln := listen(t)
+	coordAddr := ln.Addr().String()
+	_, done0 := startWorker(t, ctx, coordAddr, "", base)
+	_, done1 := startWorker(t, ctx, coordAddr, "", base)
+
+	coord := newTestCoordinator(t, ln, base.Clone(), 2)
+	sess, err := anytime.NewWith(ctx, coord, anytime.Options{})
+	if err != nil {
+		t.Fatalf("session over coordinator: %v", err)
+	}
+	defer sess.Close()
+
+	// Activate mid-run so the maintained-index path (not just the lazy
+	// fallback) is what answers at convergence.
+	sess.TopK(5, true)
+	sn, err := sess.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sn.Converged {
+		t.Fatalf("cluster session did not converge: %+v", sn)
+	}
+
+	ora := oracle(t, base.Clone())
+	defer ora.Close()
+	converge(t, "oracle", func() error { _, err := ora.Step(); return err }, ora.Converged)
+	scores := ora.Scores()
+
+	for _, harmonic := range []bool{true, false} {
+		values := scores.Classic
+		if harmonic {
+			values = scores.Harmonic
+		}
+		want := centrality.TopK(scores, values, 5)
+		res := sess.TopK(5, harmonic)
+		if len(res.Entries) != len(want) {
+			t.Fatalf("harmonic=%t: %d entries, want %d", harmonic, len(res.Entries), len(want))
+		}
+		for i, en := range res.Entries {
+			if en.V != want[i] || en.Score != values[want[i]] {
+				t.Fatalf("harmonic=%t rank %d: cluster says vertex %d (%g), oracle says %d (%g)",
+					harmonic, i, en.V, en.Score, want[i], values[want[i]])
+			}
+			if !en.Resolved {
+				t.Fatalf("harmonic=%t rank %d unresolved at the fixpoint", harmonic, i)
+			}
+		}
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatalf("session close: %v", err)
+	}
+	for i, done := range []chan error{done0, done1} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exit: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit after shutdown", i)
+		}
 	}
 }

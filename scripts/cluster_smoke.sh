@@ -147,6 +147,20 @@ for want in 'aacc_cluster_worker_up{worker="0"} 1' 'aacc_cluster_worker_up{worke
 done
 echo "cluster_smoke: flight recorder captured the incident with correlated traces"
 
+# The coordinator's session answers /topk from its mirrored worker rows —
+# the converged bound-based ranking must resolve every requested rank.
+TOPK="$(curl -fsS "http://$OBS/topk?k=5")"
+for field in '"k":5' '"converged":true' '"resolved":5' '"vertex":'; do
+    case "$TOPK" in
+    *"$field"*) ;;
+    *)
+        echo "cluster_smoke: coordinator /topk missing $field: $TOPK" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "cluster_smoke: coordinator served a resolved /topk from mirrored rows"
+
 kill -TERM "$CO"
 n=0
 while kill -0 "$CO" 2>/dev/null; do

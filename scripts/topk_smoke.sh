@@ -1,0 +1,129 @@
+#!/usr/bin/env sh
+# End-to-end smoke for bound-based top-k serving: runs the same analysis
+# twice — once as a one-shot batch to get the reference -top report, once as
+# a throttled -serve session — queries GET /topk while the session is still
+# mid-run (the anytime answer must be well-formed long before convergence),
+# then polls until /topk reports converged and asserts the converged ranking
+# matches the batch report vertex for vertex. Usage:
+#
+#   scripts/topk_smoke.sh [addr]
+#
+# The observability address defaults to 127.0.0.1:9331. Only standard tools
+# (go, curl, awk, grep) are used.
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR="${1:-127.0.0.1:9331}"
+GRAPH="-n 400 -p 4 -seed 5"
+K=8
+
+LOG="$(mktemp)"
+BATCH="$(mktemp)"
+BIN= PID=
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG" "$BATCH"
+    [ -n "$BIN" ] && rm -rf "$(dirname "$BIN")" || true
+}
+trap cleanup EXIT
+
+BIN="$(mktemp -d)/aacc"
+go build -o "$BIN" ./cmd/aacc
+
+# Reference: the batch report's ranking (harmonic, like /topk's default).
+"$BIN" $GRAPH -harmonic -top "$K" >"$BATCH" 2>/dev/null
+WANT="$(awk '/^ *[0-9]+\. vertex /{print $3}' "$BATCH")"
+if [ "$(printf '%s\n' "$WANT" | wc -l)" -ne "$K" ]; then
+    echo "topk_smoke: batch report did not rank $K vertices" >&2
+    cat "$BATCH" >&2
+    exit 1
+fi
+
+# Throttled serve run: -step-interval keeps the session mid-run long enough
+# to observe the anytime answer deterministically.
+"$BIN" $GRAPH -serve -step-interval 250ms -obs-addr "$ADDR" -linger 60s \
+    -harmonic -top "$K" >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "topk_smoke: session exited before the endpoint came up" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "topk_smoke: endpoint never came up at $ADDR" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# Mid-run: /topk must answer immediately with a well-formed bound-based
+# ranking (epoch snapshot, k entries with confidence fields) — the anytime
+# property over HTTP.
+MID="$(curl -fsS "http://$ADDR/topk?k=$K")"
+for field in '"k":'"$K" '"scoring":"harmonic"' '"candidates":' '"pruned":' \
+    '"resolved":' '"vertex":' '"lower":' '"upper":'; do
+    case "$MID" in
+    *"$field"*) ;;
+    *)
+        echo "topk_smoke: mid-run /topk missing $field: $MID" >&2
+        exit 1
+        ;;
+    esac
+done
+
+# Hostile parameters: clamped k is a 200, malformed input a 400, never a 500.
+curl -fsS "http://$ADDR/topk?k=-3" >/dev/null || {
+    echo "topk_smoke: /topk?k=-3 did not answer 200" >&2
+    exit 1
+}
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/topk?k=abc")"
+if [ "$CODE" != "400" ]; then
+    echo "topk_smoke: /topk?k=abc answered $CODE, want 400" >&2
+    exit 1
+fi
+
+# Post-convergence: poll until the served answer is final, then it must
+# match the batch ranking exactly.
+i=0
+FINAL=
+while :; do
+    FINAL="$(curl -fsS "http://$ADDR/topk?k=$K")"
+    case "$FINAL" in
+    *'"converged":true'*) break ;;
+    esac
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "topk_smoke: session exited before converging" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 240 ]; then
+        echo "topk_smoke: /topk never reported converged" >&2
+        printf '%s\n' "$FINAL" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+case "$FINAL" in
+*'"resolved":'$K*) ;;
+*)
+    echo "topk_smoke: converged /topk did not resolve all $K ranks: $FINAL" >&2
+    exit 1
+    ;;
+esac
+
+GOT="$(printf '%s\n' "$FINAL" | grep -o '"vertex":[0-9]*' | cut -d: -f2)"
+if [ "$GOT" != "$WANT" ]; then
+    echo "topk_smoke: converged /topk ranking differs from the batch report" >&2
+    echo "batch:  $(printf '%s' "$WANT" | tr '\n' ' ')" >&2
+    echo "served: $(printf '%s' "$GOT" | tr '\n' ' ')" >&2
+    exit 1
+fi
+
+echo "topk_smoke: OK (mid-run answer well-formed, converged top-$K matches batch report)"
